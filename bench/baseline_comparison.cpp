@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Extension: PRESS vs. its published comparison points.
+ *
+ * The paper's Section 2.2 reports that PRESS's 8-node throughput is
+ * within 7% of scalable LARD (a highly efficient but non-portable
+ * front-end-based locality-aware distributor), and the introduction
+ * contrasts content-aware servers with content-oblivious ones. This
+ * bench reproduces that triangle: a content-oblivious cluster (local
+ * service only), PRESS over its protocol variants, and a LARD-style
+ * front-end with direct back-end replies.
+ *
+ * Expected shape: LARD >= PRESS-V5 (no intra-cluster file transfers at
+ * all) with PRESS close behind; the content-oblivious server trails
+ * badly whenever the working set exceeds a single node's cache.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace press;
+using namespace press::bench;
+using namespace press::core;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    banner("Baselines", "content-oblivious vs PRESS vs LARD front-end",
+           opts);
+    TraceSet traces(opts);
+
+    util::TextTable t;
+    t.header({"trace", "oblivious", "PRESS TCP/cLAN", "PRESS VIA-V5",
+              "LARD", "V5/LARD", "paper"});
+    for (const auto &trace : traces.all()) {
+        PressConfig obl;
+        obl.distribution = Distribution::LocalOnly;
+        obl.protocol = Protocol::TcpClan;
+        auto r_obl = runOne(trace, obl, opts);
+
+        PressConfig tcp;
+        tcp.protocol = Protocol::TcpClan;
+        auto r_tcp = runOne(trace, tcp, opts);
+
+        PressConfig via;
+        via.protocol = Protocol::ViaClan;
+        via.version = Version::V5;
+        auto r_via = runOne(trace, via, opts);
+
+        PressConfig lard;
+        lard.distribution = Distribution::FrontEndLard;
+        lard.protocol = Protocol::TcpClan; // irrelevant: no intra comm
+        auto r_lard = runOne(trace, lard, opts);
+
+        t.row({trace.name, util::fmtF(r_obl.throughput, 0),
+               util::fmtF(r_tcp.throughput, 0),
+               util::fmtF(r_via.throughput, 0),
+               util::fmtF(r_lard.throughput, 0),
+               util::fmtPct(r_via.throughput / r_lard.throughput),
+               ">= 93%"});
+    }
+    std::cout << t.render();
+    std::cout << "\nPaper (S2.2): original PRESS on 8 nodes is within "
+                 "7% of scalable LARD; modeling shows\nportability "
+                 "should cost no more than 15% even on 96-node "
+                 "clusters. Content-oblivious\nservers lose whenever "
+                 "the working set outgrows one node's memory.\n";
+    return 0;
+}

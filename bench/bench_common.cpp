@@ -1,0 +1,68 @@
+#include "bench_common.hpp"
+
+#include <cstring>
+#include <iostream>
+
+#include "util/logging.hpp"
+
+namespace press::bench {
+
+Options
+Options::parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--full")) {
+            o.maxRequests = 0;
+        } else if (!std::strcmp(argv[i], "--quick")) {
+            o.quick = true;
+            o.maxRequests = 120000;
+        } else if (!std::strcmp(argv[i], "--requests") && i + 1 < argc) {
+            o.maxRequests = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--nodes") && i + 1 < argc) {
+            o.nodes = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--help")) {
+            std::cout << "options: --full | --quick | --requests N | "
+                         "--nodes N\n";
+            std::exit(0);
+        } else {
+            util::fatal("unknown option ", argv[i],
+                        " (try --help)");
+        }
+    }
+    return o;
+}
+
+TraceSet::TraceSet(const Options &opts)
+{
+    for (auto spec : workload::paperTraceSpecs()) {
+        if (opts.maxRequests && spec.numRequests > opts.maxRequests)
+            spec.numRequests = opts.maxRequests;
+        _traces.push_back(workload::generateTrace(spec));
+    }
+}
+
+core::ClusterResults
+runOne(const workload::Trace &trace, core::PressConfig config,
+       const Options &opts)
+{
+    config.nodes = opts.nodes;
+    core::PressCluster cluster(config, trace);
+    return cluster.run();
+}
+
+void
+banner(const std::string &id, const std::string &what,
+       const Options &opts)
+{
+    std::cout << "== " << id << ": " << what << " ==\n";
+    std::cout << "(" << opts.nodes << " nodes, "
+              << (opts.maxRequests
+                      ? std::to_string(opts.maxRequests) +
+                            " requests/trace cap"
+                      : std::string("full traces"))
+              << "; shapes, not absolute req/s, are the reproduction "
+                 "target)\n\n";
+}
+
+} // namespace press::bench

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared harness for the paper-reproduction benches.
+ *
+ * Every bench binary reproduces one table or figure of the paper. By
+ * default traces are replayed with a request cap that keeps a full
+ * `for b in build/bench/*; do $b; done` sweep in the minutes range;
+ * pass --full for the complete traces (paper-scale, slower) or --quick
+ * for a fast smoke run.
+ */
+
+#ifndef PRESS_BENCH_COMMON_HPP
+#define PRESS_BENCH_COMMON_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "util/table.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace press::bench {
+
+/** Command-line options shared by all benches. */
+struct Options {
+    std::uint64_t maxRequests = 600000; ///< per-run cap (0 = no cap)
+    int nodes = 8;
+    bool quick = false;
+
+    static Options parse(int argc, char **argv);
+};
+
+/** Cache of generated traces (generation is the slow part). */
+class TraceSet
+{
+  public:
+    explicit TraceSet(const Options &opts);
+
+    /** The four paper traces, in figure order. */
+    const std::vector<workload::Trace> &all() const { return _traces; }
+
+  private:
+    std::vector<workload::Trace> _traces;
+};
+
+/** Run one configuration against one trace. */
+core::ClusterResults runOne(const workload::Trace &trace,
+                            core::PressConfig config,
+                            const Options &opts);
+
+/** Print the standard bench header. */
+void banner(const std::string &id, const std::string &what,
+            const Options &opts);
+
+} // namespace press::bench
+
+#endif // PRESS_BENCH_COMMON_HPP

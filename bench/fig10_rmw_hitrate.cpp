@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Figure 10: modeled gain of remote memory writes + zero-copy over
+ * regular 1-copy VIA messages, vs. hit rate and node count, S = 16 KB.
+ *
+ * Paper shape: same trends as Figure 8 but the maximum gain is only
+ * ~1.12.
+ */
+
+#include <iostream>
+
+#include "model_grids.hpp"
+
+using namespace press;
+
+int
+main()
+{
+    std::cout << "== Figure 10: RMW + zero-copy gain (model), "
+                 "S = 16 KB ==\n\n";
+    bench::hitRateGrid(16e3, [] {
+        return std::pair{model::ModelParams::viaRmwZc(),
+                         model::ModelParams::via()};
+    });
+    std::cout << "\nPaper (Fig. 10): same overall trends as Fig. 8; "
+                 "maximum gain only ~1.12.\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 1: normalized CPU time PRESS spends on intra-cluster
+ * communication vs. external communication + service, over TCP/FE.
+ *
+ * The paper's Figure 1 motivates the whole study: more than 50% of CPU
+ * time goes to intra-cluster communication for all four traces. Those
+ * runs used the *original* PRESS of [12], which disseminates load by
+ * broadcasting (this paper introduces piggy-backing as a modification
+ * — Section 2.3/Related Work), so we reproduce the figure with the
+ * aggressive broadcast strategy over TCP/FE, and also print the
+ * piggy-backing variant for reference.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace press;
+using namespace press::bench;
+using namespace press::core;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    banner("Figure 1", "CPU time breakdown under TCP/FE", opts);
+    TraceSet traces(opts);
+
+    util::TextTable t;
+    t.header({"trace", "variant", "Int.comm", "Ext.comm+Service",
+              "paper Int.comm"});
+    for (const auto &trace : traces.all()) {
+        for (bool original : {true, false}) {
+            PressConfig config;
+            config.protocol = Protocol::TcpFastEthernet;
+            config.dissemination =
+                original ? Dissemination::broadcast(1)
+                         : Dissemination::piggyBack();
+            auto r = runOne(trace, config, opts);
+            double intra = r.intraCommShare();
+            t.row({trace.name,
+                   original ? "original (L1)" : "piggy-back",
+                   util::fmtPct(intra), util::fmtPct(1.0 - intra),
+                   original ? "> 50%" : "-"});
+        }
+        t.separator();
+    }
+    std::cout << t.render();
+    std::cout << "\nPaper: Figure 1 shows > 50% of CPU time on "
+                 "intra-cluster communication for all traces\n"
+                 "(original PRESS, TCP over Fast Ethernet).\n";
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 4: throughput for the five load-information dissemination
+ * strategies (PB, L16, L4, L1, NLB) under VIA/cLAN.
+ *
+ * Paper shape: piggy-backing wins; raising the broadcast threshold
+ * (L1 -> L16) recovers most of the loss; L1 can fall below no load
+ * balancing at all on high-throughput traces.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace press;
+using namespace press::bench;
+using namespace press::core;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    // Many configurations x four traces: clamp the default cap so the
+    // full bench sweep stays in the minutes range (--full overrides).
+    if (opts.maxRequests > 300000)
+        opts.maxRequests = 300000;
+    banner("Figure 4", "load-information dissemination strategies",
+           opts);
+    TraceSet traces(opts);
+
+    // The paper's five bars, plus the RMW-broadcast variants discussed
+    // at the end of Section 3.3 ("using remote memory writes for the
+    // load broadcasts improves the performance of L1 significantly,
+    // improves L4 slightly, and does not affect L16").
+    const std::vector<std::pair<std::string, Dissemination>> strategies =
+        {{"PB", Dissemination::piggyBack()},
+         {"L16", Dissemination::broadcast(16)},
+         {"L4", Dissemination::broadcast(4)},
+         {"L1", Dissemination::broadcast(1)},
+         {"NLB", Dissemination::none()},
+         {"L16r", Dissemination::broadcast(16, true)},
+         {"L4r", Dissemination::broadcast(4, true)},
+         {"L1r", Dissemination::broadcast(1, true)}};
+
+    util::TextTable t;
+    std::vector<std::string> header{"trace"};
+    for (auto &[name, d] : strategies)
+        header.push_back(name);
+    header.push_back("paper shape");
+    t.header(header);
+
+    for (const auto &trace : traces.all()) {
+        std::vector<std::string> row{trace.name};
+        double pb = 0;
+        for (const auto &[name, diss] : strategies) {
+            PressConfig config;
+            config.protocol = Protocol::ViaClan;
+            config.version = Version::V0;
+            config.dissemination = diss;
+            double tput = runOne(trace, config, opts).throughput;
+            if (name == "PB")
+                pb = tput;
+            row.push_back(util::fmtF(tput, 0));
+        }
+        (void)pb;
+        row.push_back("PB >= L16 > L4 > L1");
+        t.row(row);
+    }
+    std::cout << t.render();
+    std::cout << "\nPaper (Fig. 4): avoiding load broadcasts is always "
+                 "best; L1 can be worse than NLB on the\nfaster traces; "
+                 "piggy-backing combines minimum messages with good "
+                 "enough balancing.\n";
+    return 0;
+}

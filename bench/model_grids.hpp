@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared grid printer for the model-based figures (8-13): throughput
+ * improvement of one configuration over another across (x, nodes)
+ * grids, matching the paper's 3-D surface plots as a table.
+ */
+
+#ifndef PRESS_BENCH_MODEL_GRIDS_HPP
+#define PRESS_BENCH_MODEL_GRIDS_HPP
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "model/press_model.hpp"
+#include "util/table.hpp"
+
+namespace press::bench {
+
+inline const std::vector<int> ModelNodeGrid = {2,  4,  8,  16,
+                                               32, 64, 128};
+
+/**
+ * Print gains over a hit-rate x nodes grid (Figures 8, 10, 12 layout).
+ * @p make builds the (better, base) model pair for a given average file
+ * size in bytes.
+ */
+inline void
+hitRateGrid(double file_bytes,
+            const std::function<std::pair<model::ModelParams,
+                                          model::ModelParams>()> &make)
+{
+    auto [pa, pb] = make();
+    pa.avgFileBytes = pb.avgFileBytes = file_bytes;
+    model::PressModel better(pa), base(pb);
+
+    util::TextTable t;
+    std::vector<std::string> header{"hit rate \\ nodes"};
+    for (int n : ModelNodeGrid)
+        header.push_back(std::to_string(n));
+    t.header(header);
+
+    double peak = 0;
+    for (double h = 0.2; h <= 1.0001; h += 0.1) {
+        std::vector<std::string> row{util::fmtF(h, 1)};
+        for (int n : ModelNodeGrid) {
+            double g = model::improvement(better, base, n, h);
+            peak = std::max(peak, g);
+            row.push_back(util::fmtF(g, 3));
+        }
+        t.row(row);
+    }
+    std::cout << t.render();
+    std::cout << "peak improvement: " << util::fmtF(peak, 3) << "x\n";
+}
+
+/**
+ * Print gains over a file-size x nodes grid at a fixed 90% single-node
+ * hit rate (Figures 9, 11, 13 layout).
+ */
+inline void
+fileSizeGrid(const std::function<std::pair<model::ModelParams,
+                                           model::ModelParams>()> &make)
+{
+    util::TextTable t;
+    std::vector<std::string> header{"file KB \\ nodes"};
+    for (int n : ModelNodeGrid)
+        header.push_back(std::to_string(n));
+    t.header(header);
+
+    double peak = 0;
+    for (double kb : {4.0, 8.0, 16.0, 32.0, 64.0, 96.0, 128.0}) {
+        auto [pa, pb] = make();
+        pa.avgFileBytes = pb.avgFileBytes = kb * 1000.0;
+        model::PressModel better(pa), base(pb);
+        std::vector<std::string> row{util::fmtF(kb, 0)};
+        for (int n : ModelNodeGrid) {
+            double g = model::improvement(better, base, n, 0.9);
+            peak = std::max(peak, g);
+            row.push_back(util::fmtF(g, 3));
+        }
+        t.row(row);
+    }
+    std::cout << t.render();
+    std::cout << "peak improvement: " << util::fmtF(peak, 3) << "x\n";
+}
+
+} // namespace press::bench
+
+#endif // PRESS_BENCH_MODEL_GRIDS_HPP

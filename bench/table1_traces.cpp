@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table 1: main characteristics of the WWW server traces.
+ *
+ * Validates that the synthetic trace generator reproduces the published
+ * populations: file counts, average file size, request counts, and
+ * average requested size (the quantity that couples popularity to
+ * size).
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace press;
+using namespace press::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    banner("Table 1", "trace characteristics (generated vs. paper)",
+           opts);
+
+    util::TextTable t;
+    t.header({"Logs", "Num files", "Avg file size", "Num requests",
+              "Avg req size", "paper file/req KB"});
+    for (auto spec : workload::paperTraceSpecs()) {
+        auto full = spec; // Table 1 is about the full trace
+        if (opts.quick)
+            full.numRequests = std::min<std::uint64_t>(
+                full.numRequests, 200000);
+        workload::Trace trace = workload::generateTrace(full);
+        t.row({trace.name, util::fmtInt(trace.files.count()),
+               util::fmtF(trace.files.averageSize() / 1000.0, 1) + " KB",
+               util::fmtInt(trace.requests.size()),
+               util::fmtF(trace.averageRequestSize() / 1000.0, 1) +
+                   " KB",
+               util::fmtF(spec.avgFileSize / 1000.0, 1) + " / " +
+                   util::fmtF(spec.avgRequestSize / 1000.0, 1)});
+    }
+    std::cout << t.render();
+    std::cout << "\nPaper (Table 1): Clarknet 28864/14.2KB/2978121/9.7KB,"
+                 " Forth 11931/19.3/400335/8.8,\n  Nasa 9129/27.6/"
+                 "3147684/21.8, Rutgers 18370/27.3/498646/19.0.\n";
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Capacity planning with the analytical model: how many cluster nodes
+ * does a target request rate need, for each communication scheme, and
+ * where do the bottlenecks move as the cluster grows?
+ *
+ * This is the kind of downstream use the paper's model enables: the
+ * operator knows the workload (population, file sizes) and asks for
+ * the smallest deployment that sustains the load.
+ *
+ * Usage: capacity_planner [--target REQS] [--files F] [--file-kb S]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "model/press_model.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+using namespace press;
+using namespace press::model;
+
+int
+main(int argc, char **argv)
+{
+    double target = 20000; // req/s
+    double files = 100000;
+    double file_kb = 16;
+
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--target") && i + 1 < argc)
+            target = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--files") && i + 1 < argc)
+            files = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--file-kb") && i + 1 < argc)
+            file_kb = std::atof(argv[++i]);
+        else
+            util::fatal("unknown option ", argv[i]);
+    }
+
+    std::cout << "Sizing a locality-conscious cluster for " << target
+              << " req/s (population " << files << " files, S = "
+              << file_kb << " KB)\n\n";
+
+    struct Entry {
+        const char *name;
+        ModelParams params;
+    };
+    for (const Entry &e :
+         {Entry{"TCP intra-cluster", ModelParams::tcp()},
+          Entry{"VIA regular", ModelParams::via()},
+          Entry{"VIA RMW+zero-copy", ModelParams::viaRmwZc()}}) {
+        ModelParams p = e.params;
+        p.avgFileBytes = file_kb * 1000.0;
+        PressModel m(p);
+
+        util::TextTable t;
+        t.header({"nodes", "req/s", "Hlc", "Q", "bottleneck"});
+        int needed = -1;
+        for (int n = 1; n <= 256; n *= 2) {
+            auto pred = m.predictFromPopulation(n, files);
+            t.row({std::to_string(n), util::fmtF(pred.throughput, 0),
+                   util::fmtPct(pred.locality.hlc),
+                   util::fmtPct(pred.locality.q),
+                   pred.demands.bottleneck()});
+            if (needed < 0 && pred.throughput >= target)
+                needed = n;
+        }
+        std::cout << "-- " << e.name << " --\n" << t.render();
+        if (needed > 0)
+            std::cout << "smallest power-of-two deployment meeting "
+                      << target << " req/s: " << needed << " nodes\n\n";
+        else
+            std::cout << "target not reachable within 256 nodes (disk "
+                         "or external network bound)\n\n";
+    }
+
+    // Server organizations at a fixed communication substrate: how much
+    // does locality-consciousness buy, and how close is PRESS to a
+    // LARD-style front-end?
+    std::cout << "-- server organizations (VIA RMW+0cp substrate) --\n";
+    util::TextTable k;
+    k.header({"nodes", "oblivious", "PRESS", "front-end (LARD)",
+              "PRESS/front-end"});
+    for (int n = 4; n <= 64; n *= 2) {
+        ModelParams p = ModelParams::viaRmwZc();
+        p.avgFileBytes = file_kb * 1000.0;
+        double to = PressModel(p, ServerKind::ContentOblivious)
+                        .predictFromPopulation(n, files)
+                        .throughput;
+        double tp = PressModel(p, ServerKind::LocalityConscious)
+                        .predictFromPopulation(n, files)
+                        .throughput;
+        double tf = PressModel(p, ServerKind::FrontEnd)
+                        .predictFromPopulation(n, files)
+                        .throughput;
+        k.row({std::to_string(n), util::fmtF(to, 0), util::fmtF(tp, 0),
+               util::fmtF(tf, 0), util::fmtPct(tp / tf)});
+    }
+    std::cout << k.render();
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Convert a real web-server access log (Common Log Format — the format
+ * the paper's Clarknet/NASA/FORTH/Rutgers traces are distributed in)
+ * into the replayable presstrace format, applying the paper's
+ * filtering of incomplete requests.
+ *
+ * Usage: clf_convert ACCESS_LOG OUTPUT.trace [name]
+ *
+ * The output replays directly:
+ *   trace_server --load OUTPUT.trace --proto via --version 5
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "util/logging.hpp"
+#include "util/table.hpp"
+#include "workload/clf.hpp"
+
+using namespace press;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        util::fatal("usage: clf_convert ACCESS_LOG OUTPUT.trace [name]");
+    std::ifstream in(argv[1]);
+    if (!in)
+        util::fatal("cannot read ", argv[1]);
+    std::string name = argc > 3 ? argv[3] : "imported";
+
+    workload::ClfImportStats stats;
+    workload::Trace trace = workload::importClf(in, name, &stats);
+    trace.saveFile(argv[2]);
+
+    util::TextTable t;
+    t.header({"quantity", "value"});
+    t.row({"log lines", util::fmtInt(stats.lines)});
+    t.row({"malformed", util::fmtInt(stats.malformed)});
+    t.row({"dropped (non-GET/incomplete)", util::fmtInt(stats.dropped)});
+    t.row({"accepted requests", util::fmtInt(stats.accepted)});
+    t.row({"distinct files", util::fmtInt(trace.files.count())});
+    t.row({"avg file size",
+           util::fmtF(trace.files.averageSize() / 1e3, 1) + " KB"});
+    t.row({"avg requested size",
+           util::fmtF(trace.averageRequestSize() / 1e3, 1) + " KB"});
+    std::cout << t.render();
+    std::cout << "\nwrote " << argv[2] << "\n";
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Interactive exploration of the Section-4 analytical model: given a
+ * cluster size, hit rate (or population), and file size, print each
+ * configuration's per-station demands, bottleneck, predicted
+ * throughput, and the user-level-communication gains.
+ *
+ * Usage: model_explorer [--nodes N] [--hit H] [--files F]
+ *                       [--file-kb S] [--future]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "model/press_model.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+using namespace press;
+using namespace press::model;
+
+int
+main(int argc, char **argv)
+{
+    int nodes = 8;
+    double hit = 0.9;
+    double files = 0; // 0 = derive from hit rate
+    double file_kb = 16.0;
+    bool future = false;
+
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--nodes") && i + 1 < argc)
+            nodes = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--hit") && i + 1 < argc)
+            hit = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--files") && i + 1 < argc)
+            files = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--file-kb") && i + 1 < argc)
+            file_kb = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--future"))
+            future = true;
+        else
+            util::fatal("unknown option ", argv[i]);
+    }
+
+    struct Entry {
+        const char *name;
+        ModelParams params;
+    };
+    std::vector<Entry> entries;
+    if (future) {
+        entries = {{"TCP (future)", ModelParams::tcpFuture()},
+                   {"VIA RMW+0cp (future)",
+                    ModelParams::viaRmwZcFuture()}};
+    } else {
+        entries = {{"TCP", ModelParams::tcp()},
+                   {"VIA regular", ModelParams::via()},
+                   {"VIA RMW+0cp", ModelParams::viaRmwZc()}};
+    }
+
+    std::cout << "Analytical model (Section 4, Table 5): " << nodes
+              << " nodes, S = " << file_kb << " KB, "
+              << (files > 0 ? "population " + std::to_string(files)
+                            : "single-node hit rate " +
+                                  util::fmtPct(hit))
+              << (future ? ", next-generation system" : "") << "\n\n";
+
+    util::TextTable t;
+    t.header({"config", "Hlc", "Q", "CPU us", "disk us", "NIint us",
+              "NIext us", "bottleneck", "req/s"});
+    double base = 0;
+    for (const auto &e : entries) {
+        ModelParams p = e.params;
+        p.avgFileBytes = file_kb * 1000.0;
+        PressModel m(p);
+        Prediction pred =
+            files > 0 ? m.predictFromPopulation(nodes, files)
+                      : m.predict(nodes, hit);
+        if (base == 0)
+            base = pred.throughput;
+        t.row({e.name, util::fmtPct(pred.locality.hlc),
+               util::fmtPct(pred.locality.q),
+               util::fmtF(pred.demands.cpu * 1e6, 0),
+               util::fmtF(pred.demands.disk * 1e6, 0),
+               util::fmtF(pred.demands.niInternal * 1e6, 0),
+               util::fmtF(pred.demands.niExternal * 1e6, 0),
+               pred.demands.bottleneck(),
+               util::fmtF(pred.throughput, 0)});
+    }
+    std::cout << t.render();
+
+    ModelParams a = future ? ModelParams::viaRmwZcFuture()
+                           : ModelParams::viaRmwZc();
+    ModelParams b = future ? ModelParams::tcpFuture()
+                           : ModelParams::tcp();
+    a.avgFileBytes = b.avgFileBytes = file_kb * 1000.0;
+    double gain = files > 0
+                      ? PressModel(a)
+                                .predictFromPopulation(nodes, files)
+                                .throughput /
+                            PressModel(b)
+                                .predictFromPopulation(nodes, files)
+                                .throughput
+                      : improvement(PressModel(a), PressModel(b), nodes,
+                                    hit);
+    std::cout << "\nuser-level communication gain at this point: "
+              << util::fmtF((gain - 1) * 100, 1) << "%\n";
+    return 0;
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Generic parameter-sweep driver: vary one knob across a range for a
+ * set of configurations and print (or CSV-export) throughput, latency
+ * percentiles, and comm behaviour. The benches cover the paper's
+ * specific sweeps; this tool lets a user run their own without writing
+ * code.
+ *
+ * Usage:
+ *   press_sweep --param nodes|clients|cache-mb|window|threshold
+ *               --values 2,4,8,16
+ *               [--trace clarknet|forth|nasa|rutgers] [--requests N]
+ *               [--configs tcpfe,tcpclan,via0,via5,lard,oblivious]
+ *               [--csv FILE]
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/cluster.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+#include "workload/trace_gen.hpp"
+
+using namespace press;
+using namespace press::core;
+
+namespace {
+
+std::vector<std::string>
+splitCsvList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+PressConfig
+configFor(const std::string &name)
+{
+    PressConfig c;
+    if (name == "tcpfe") {
+        c.protocol = Protocol::TcpFastEthernet;
+    } else if (name == "tcpclan") {
+        c.protocol = Protocol::TcpClan;
+    } else if (name == "via0") {
+        c.protocol = Protocol::ViaClan;
+        c.version = Version::V0;
+    } else if (name == "via5") {
+        c.protocol = Protocol::ViaClan;
+        c.version = Version::V5;
+    } else if (name == "lard") {
+        c.protocol = Protocol::TcpClan;
+        c.distribution = Distribution::FrontEndLard;
+    } else if (name == "oblivious") {
+        c.protocol = Protocol::TcpClan;
+        c.distribution = Distribution::LocalOnly;
+    } else {
+        util::fatal("unknown config '", name,
+                    "' (tcpfe|tcpclan|via0|via5|lard|oblivious)");
+    }
+    return c;
+}
+
+void
+applyParam(PressConfig &c, const std::string &param, double value)
+{
+    if (param == "nodes")
+        c.nodes = static_cast<int>(value);
+    else if (param == "clients")
+        c.clientsPerNode = static_cast<int>(value);
+    else if (param == "cache-mb")
+        c.cacheBytes = static_cast<std::uint64_t>(value) * util::MB;
+    else if (param == "window")
+        c.controlWindow = c.fileWindow = static_cast<int>(value);
+    else if (param == "threshold")
+        c.overloadThreshold = static_cast<int>(value);
+    else
+        util::fatal("unknown param '", param,
+                    "' (nodes|clients|cache-mb|window|threshold)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string param = "nodes";
+    std::string values_arg = "2,4,8";
+    std::string trace_name = "clarknet";
+    std::string configs_arg = "tcpclan,via5";
+    std::string csv_path;
+    std::uint64_t requests = 200000;
+
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char *flag) -> const char * {
+            if (std::strcmp(argv[i], flag) || i + 1 >= argc)
+                return nullptr;
+            return argv[++i];
+        };
+        if (auto v = need("--param"))
+            param = v;
+        else if (auto v = need("--values"))
+            values_arg = v;
+        else if (auto v = need("--trace"))
+            trace_name = v;
+        else if (auto v = need("--configs"))
+            configs_arg = v;
+        else if (auto v = need("--csv"))
+            csv_path = v;
+        else if (auto v = need("--requests"))
+            requests = std::strtoull(v, nullptr, 10);
+        else
+            util::fatal("unknown or incomplete option ", argv[i]);
+    }
+
+    workload::TraceSpec spec =
+        trace_name == "forth"     ? workload::forthSpec()
+        : trace_name == "nasa"    ? workload::nasaSpec()
+        : trace_name == "rutgers" ? workload::rutgersSpec()
+                                  : workload::clarknetSpec();
+    workload::Trace trace = workload::generateTrace(spec);
+
+    util::TextTable t;
+    t.header({param, "config", "req/s", "mean ms", "p99 ms",
+              "fwd frac", "disk util", "intra CPU"});
+    for (const std::string &value_str : splitCsvList(values_arg)) {
+        double value = std::atof(value_str.c_str());
+        for (const std::string &cfg_name : splitCsvList(configs_arg)) {
+            PressConfig config = configFor(cfg_name);
+            applyParam(config, param, value);
+            PressCluster cluster(config, trace);
+            auto r = cluster.run(requests);
+            t.row({value_str, config.label(),
+                   util::fmtF(r.throughput, 0),
+                   util::fmtF(r.avgLatencyMs, 1),
+                   util::fmtF(r.p99LatencyMs, 1),
+                   util::fmtPct(r.forwardFraction),
+                   util::fmtPct(r.diskUtilization),
+                   util::fmtPct(r.intraCommShare())});
+        }
+        t.separator();
+    }
+    std::cout << t.render();
+    if (!csv_path.empty()) {
+        std::ofstream csv(csv_path);
+        if (!csv)
+            util::fatal("cannot write ", csv_path);
+        csv << t.renderCsv();
+        std::cout << "CSV written to " << csv_path << "\n";
+    }
+    return 0;
+}

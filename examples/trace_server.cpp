@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Replay a workload against a configurable PRESS cluster and print the
+ * full measurement report: throughput, latency, CPU-time breakdown,
+ * per-type message traffic, and cache behaviour.
+ *
+ * The workload is either a built-in paper trace, a synthetic spec, or
+ * a trace file previously written with Trace::saveFile (the tool can
+ * also emit one with --save).
+ *
+ * Usage:
+ *   trace_server [--trace clarknet|forth|nasa|rutgers | --load FILE]
+ *                [--proto tcpfe|tcpclan|via] [--version 0..5]
+ *                [--nodes N] [--clients-per-node K]
+ *                [--dissemination pb|l1|l4|l16|nlb]
+ *                [--distribution press|oblivious|lard]
+ *                [--requests N] [--save FILE]
+ *                [--stats-dump] [--csv FILE]
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/cluster.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+#include "workload/trace_gen.hpp"
+
+using namespace press;
+using namespace press::core;
+
+int
+main(int argc, char **argv)
+{
+    std::string trace_name = "clarknet";
+    std::string load_path, save_path, csv_path;
+    bool stats_dump = false;
+    PressConfig config;
+    std::uint64_t requests = 400000;
+
+    for (int i = 1; i < argc; ++i) {
+        auto arg = [&](const char *flag) {
+            if (std::strcmp(argv[i], flag) || i + 1 >= argc)
+                return static_cast<const char *>(nullptr);
+            return static_cast<const char *>(argv[++i]);
+        };
+        if (auto v = arg("--trace")) {
+            trace_name = v;
+        } else if (auto v = arg("--load")) {
+            load_path = v;
+        } else if (auto v = arg("--save")) {
+            save_path = v;
+        } else if (auto v = arg("--proto")) {
+            std::string p = v;
+            config.protocol = p == "tcpfe" ? Protocol::TcpFastEthernet
+                              : p == "tcpclan" ? Protocol::TcpClan
+                                               : Protocol::ViaClan;
+        } else if (auto v = arg("--version")) {
+            config.version = static_cast<Version>(std::atoi(v));
+        } else if (auto v = arg("--nodes")) {
+            config.nodes = std::atoi(v);
+        } else if (auto v = arg("--clients-per-node")) {
+            config.clientsPerNode = std::atoi(v);
+        } else if (auto v = arg("--dissemination")) {
+            std::string d = v;
+            config.dissemination =
+                d == "pb"    ? Dissemination::piggyBack()
+                : d == "l1"  ? Dissemination::broadcast(1)
+                : d == "l4"  ? Dissemination::broadcast(4)
+                : d == "l16" ? Dissemination::broadcast(16)
+                             : Dissemination::none();
+        } else if (auto v = arg("--distribution")) {
+            std::string d = v;
+            config.distribution =
+                d == "oblivious" ? Distribution::LocalOnly
+                : d == "lard"    ? Distribution::FrontEndLard
+                                 : Distribution::LocalityConscious;
+        } else if (auto v = arg("--requests")) {
+            requests = std::strtoull(v, nullptr, 10);
+        } else if (auto v = arg("--csv")) {
+            csv_path = v;
+        } else if (!std::strcmp(argv[i], "--stats-dump")) {
+            stats_dump = true;
+        } else {
+            util::fatal("unknown or incomplete option ", argv[i]);
+        }
+    }
+
+    workload::Trace trace;
+    if (!load_path.empty()) {
+        trace = workload::Trace::loadFile(load_path);
+    } else {
+        workload::TraceSpec spec =
+            trace_name == "forth"     ? workload::forthSpec()
+            : trace_name == "nasa"    ? workload::nasaSpec()
+            : trace_name == "rutgers" ? workload::rutgersSpec()
+                                      : workload::clarknetSpec();
+        trace = workload::generateTrace(spec);
+    }
+    if (!save_path.empty()) {
+        trace.saveFile(save_path);
+        std::cout << "trace written to " << save_path << "\n";
+    }
+
+    std::cout << "replaying " << trace.name << " ("
+              << trace.files.count() << " files, capped at " << requests
+              << " measured requests) on " << config.label() << ", "
+              << config.nodes << " nodes\n\n";
+
+    PressCluster cluster(config, trace);
+    ClusterResults r = cluster.run(requests);
+
+    util::TextTable summary;
+    summary.header({"metric", "value"});
+    summary.row({"throughput", util::fmtF(r.throughput, 0) + " req/s"});
+    summary.row({"mean latency", util::fmtF(r.avgLatencyMs, 1) + " ms"});
+    summary.row({"measured requests", util::fmtInt(r.requestsMeasured)});
+    summary.row({"measured window", util::fmtF(r.measuredSeconds, 1) +
+                                        " s"});
+    summary.row({"CPU utilization", util::fmtPct(r.cpuUtilization)});
+    summary.row({"disk utilization", util::fmtPct(r.diskUtilization)});
+    summary.row({"forwarded", util::fmtPct(r.forwardFraction)});
+    summary.row({"local cache hits", util::fmtPct(r.localHitFraction)});
+    summary.row({"disk reads", util::fmtInt(r.diskReads)});
+    summary.row({"cache insertions", util::fmtInt(r.cacheInsertions)});
+    std::cout << summary.render() << "\n";
+
+    util::TextTable cpu;
+    cpu.header({"CPU category", "share of busy time"});
+    for (int c = 0; c < osnode::NumCpuCategories; ++c)
+        cpu.row({osnode::cpuCategoryName(c), util::fmtPct(r.cpuShare[c])});
+    std::cout << cpu.render() << "\n";
+
+    util::TextTable msgs;
+    msgs.header({"msg type", "messages", "bytes", "avg size"});
+    for (MsgKind kind : {MsgKind::Load, MsgKind::Flow, MsgKind::Forward,
+                         MsgKind::Caching, MsgKind::File}) {
+        const auto &s = r.comm.of(kind);
+        msgs.row({msgKindName(kind), util::fmtInt(s.msgs),
+                  util::fmtInt(s.bytes), util::fmtF(s.avgSize(), 1)});
+    }
+    auto total = r.comm.total();
+    msgs.separator();
+    msgs.row({"TOTAL", util::fmtInt(total.msgs), util::fmtInt(total.bytes),
+              ""});
+    std::cout << msgs.render();
+
+    if (!csv_path.empty()) {
+        std::ofstream csv(csv_path);
+        if (!csv)
+            util::fatal("cannot write ", csv_path);
+        csv << summary.renderCsv() << "\n" << cpu.renderCsv() << "\n"
+            << msgs.renderCsv();
+        std::cout << "\nCSV written to " << csv_path << "\n";
+    }
+    if (stats_dump) {
+        std::cout << "\n";
+        cluster.dumpStats(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerate every paper artifact and the full test log.
+#
+# Usage: scripts/reproduce.sh [--full]
+#   --full  replay complete traces (paper scale; much slower)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL="${1:-}"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build -j "$(nproc)" 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+    [ -x "$b" ] || continue
+    echo "##### $(basename "$b") #####" | tee -a bench_output.txt
+    if [ "$FULL" = "--full" ]; then
+        "$b" --full 2>&1 | tee -a bench_output.txt
+    else
+        "$b" 2>&1 | tee -a bench_output.txt
+    fi
+    echo | tee -a bench_output.txt
+done
+echo "done: see test_output.txt and bench_output.txt"

@@ -1,0 +1,477 @@
+#include "cluster.hpp"
+
+#include <ostream>
+
+#include "core/tcp_comm.hpp"
+#include "core/via_comm.hpp"
+#include "http/message.hpp"
+#include "http/mime.hpp"
+#include "http/url.hpp"
+#include "util/logging.hpp"
+
+namespace press::core {
+
+double
+ClusterResults::intraCommShare() const
+{
+    return cpuShare[osnode::CatIntraComm];
+}
+
+void
+PressCluster::dumpStats(std::ostream &os) const
+{
+    os << "---------- " << _config.label() << " on " << _trace.name
+       << " ----------\n";
+    os << "sim.now_s " << sim::nsToSeconds(_sim.now()) << "\n";
+    os << "sim.events " << _sim.eventsExecuted() << "\n";
+    os << "clients.bad_requests " << _badRequests << "\n";
+    for (int i = 0; i < _config.nodes; ++i) {
+        const auto &node = *_nodes[i];
+        std::string p = "node" + std::to_string(i) + ".";
+        os << p << "cpu.util " << node.cpu().utilization() << "\n";
+        for (int c = 0; c < osnode::NumCpuCategories; ++c)
+            os << p << "cpu.busy_s." << osnode::cpuCategoryName(c)
+               << " " << sim::nsToSeconds(node.cpu().busyTime(c))
+               << "\n";
+        os << p << "cpu.jobs " << node.cpu().completed() << "\n";
+        os << p << "cpu.max_depth " << node.cpu().maxDepth() << "\n";
+        os << p << "disk.util " << node.disk().utilization() << "\n";
+        os << p << "disk.reads " << node.disk().reads() << "\n";
+        os << p << "net.int.tx_util "
+           << _internal->txUtilization(i) << "\n";
+        os << p << "net.int.msgs_tx "
+           << _internal->stats(i).messagesSent << "\n";
+        os << p << "net.int.bytes_tx "
+           << _internal->stats(i).bytesSent << "\n";
+        os << p << "net.ext.tx_util "
+           << _external->txUtilization(i) << "\n";
+
+        const auto &s = _servers[i]->stats();
+        os << p << "press.requests " << s.requests << "\n";
+        os << p << "press.replies " << s.replies << "\n";
+        os << p << "press.local_hits " << s.localCacheHits << "\n";
+        os << p << "press.forwarded_out " << s.forwardedOut << "\n";
+        os << p << "press.forwarded_in " << s.forwardedIn << "\n";
+        os << p << "press.disk_reads "
+           << s.localDiskReads + s.serviceDiskReads << "\n";
+        os << p << "press.cache.files "
+           << _servers[i]->cache().files() << "\n";
+        os << p << "press.cache.used_mb "
+           << _servers[i]->cache().usedBytes() / 1e6 << "\n";
+        const auto &tx = _comms[i]->txStats();
+        for (int k = 0; k < static_cast<int>(MsgKind::NumKinds); ++k)
+            os << p << "comm.tx."
+               << msgKindName(static_cast<MsgKind>(k)) << ".msgs "
+               << tx.byKind[k].msgs << "\n";
+    }
+}
+
+/** One client connection slot. Closed-loop slots re-issue on reply;
+ *  the open-loop mode shares one passive slot among all arrivals. */
+struct PressCluster::ClientSlot {
+    int index = 0;
+    bool active = false;
+    bool closedLoop = true;
+};
+
+PressCluster::PressCluster(const PressConfig &config,
+                           const workload::Trace &trace)
+    : _config(config),
+      _trace(trace),
+      _clientRng(config.seed),
+      _site(trace.files, config.seed + 0x5173)
+{
+    _requestWire.resize(trace.files.count());
+    _requestWireBytes.resize(trace.files.count(), 0);
+    PRESS_ASSERT(_config.nodes >= 1, "cluster needs nodes");
+
+    // Networks. The external network is always switched Fast Ethernet
+    // (clients talk TCP/FE in every paper configuration); ports 0..N-1
+    // are the servers, ports N..2N-1 the client side of each switch
+    // path.
+    net::FabricConfig internal_cfg =
+        _config.protocol == Protocol::TcpFastEthernet
+            ? net::FabricConfig::fastEthernet()
+            : net::FabricConfig::clan();
+    _internal = std::make_unique<net::Fabric>(_sim, internal_cfg,
+                                              _config.nodes);
+    // One extra external port hosts the LARD front-end when configured.
+    _external = std::make_unique<net::Fabric>(
+        _sim, net::FabricConfig::fastEthernet(), 2 * _config.nodes + 1);
+
+    if (_config.distribution == Distribution::FrontEndLard) {
+        _feCpu = std::make_unique<sim::FifoResource>(_sim, "lard.fe");
+        _feLoad.assign(_config.nodes, 0);
+    }
+
+    // Nodes.
+    PRESS_ASSERT(_config.cpuSpeeds.empty() ||
+                     _config.cpuSpeeds.size() ==
+                         static_cast<std::size_t>(_config.nodes),
+                 "cpuSpeeds must be empty or have one entry per node");
+    for (int i = 0; i < _config.nodes; ++i) {
+        _nodes.push_back(std::make_unique<osnode::Node>(_sim, i));
+        if (!_config.cpuSpeeds.empty())
+            _nodes.back()->cpu().setSpeed(_config.cpuSpeeds[i]);
+    }
+
+    // Intra-cluster communication.
+    if (_config.protocol == Protocol::ViaClan) {
+        std::vector<std::unique_ptr<ViaComm>> vias;
+        for (int i = 0; i < _config.nodes; ++i)
+            vias.push_back(std::make_unique<ViaComm>(
+                _sim, i, _config, _nodes[i]->cpu(), *_internal));
+        ViaComm::linkMesh(vias);
+        for (auto &v : vias)
+            _comms.push_back(std::move(v));
+    } else {
+        tcpnet::TcpCosts stack_costs =
+            _config.protocol == Protocol::TcpClan
+                ? tcpnet::TcpCosts::clan()
+                : tcpnet::TcpCosts::defaults();
+        std::vector<std::unique_ptr<TcpComm>> tcps;
+        for (int i = 0; i < _config.nodes; ++i)
+            tcps.push_back(std::make_unique<TcpComm>(
+                _sim, i, _config.nodes, _nodes[i]->cpu(), *_internal,
+                _config.calibration, stack_costs));
+        TcpComm::connectMesh(tcps);
+        for (auto &t : tcps)
+            _comms.push_back(std::move(t));
+    }
+
+    // Servers.
+    for (int i = 0; i < _config.nodes; ++i)
+        _servers.push_back(std::make_unique<PressServer>(
+            _sim, _config, i, *_nodes[i], _trace.files, *_comms[i],
+            _config.seed * 1315423911u + i));
+
+    // Client slots.
+    int total_clients = _config.clientsPerNode * _config.nodes;
+    for (int c = 0; c < total_clients; ++c) {
+        auto slot = std::make_unique<ClientSlot>();
+        slot->index = c;
+        _clients.push_back(std::move(slot));
+    }
+}
+
+PressCluster::~PressCluster() = default;
+
+void
+PressCluster::replyFinished(ClientSlot *slot)
+{
+    _lastReply = _sim.now();
+    if (slot->closedLoop)
+        issueNext(*slot);
+}
+
+void
+PressCluster::scheduleArrival()
+{
+    if (_feed->exhausted())
+        return;
+    if (!_openSlot) {
+        _openSlot = std::make_unique<ClientSlot>();
+        _openSlot->index = -1;
+        _openSlot->closedLoop = false;
+        _openSlot->active = true;
+    }
+    sim::Tick gap = sim::secondsToNs(
+        _clientRng.exponential(1.0 / _config.openLoopRate));
+    _sim.schedule(gap, [this]() {
+        issueNext(*_openSlot);
+        scheduleArrival();
+    });
+}
+
+void
+PressCluster::issueNext(ClientSlot &slot)
+{
+    // Open-loop runs warm up in closed loop (saturating the caches
+    // quickly); once measurement starts, the closed-loop slots retire
+    // and the Poisson process takes over.
+    if (_config.clientMode == PressConfig::ClientMode::OpenLoop &&
+        _measuring && slot.closedLoop) {
+        slot.active = false;
+        return;
+    }
+
+    storage::FileId file = _feed->next();
+    if (file == storage::InvalidFile) {
+        slot.active = false;
+        return;
+    }
+
+    if (!_measuring && _feed->issued() > _warmupBoundary)
+        resetForMeasurement();
+
+    int node = static_cast<int>(_clientRng.uniformInt(_config.nodes));
+    int client_port = _config.nodes + node;
+
+    // Real HTTP on the wire: the GET for each file is built once and
+    // reused (clients are replaying a trace).
+    if (!_requestWire[file]) {
+        http::Request get =
+            http::makeGet(_site.path(file), "press.cluster");
+        std::string text = get.serialize();
+        _requestWireBytes[file] =
+            static_cast<std::uint32_t>(text.size());
+        _requestWire[file] = net::makePayload<std::string>(
+            std::move(text));
+    }
+    net::Payload wire = _requestWire[file];
+    std::uint64_t req_bytes = _requestWireBytes[file];
+
+    ClientSlot *slot_ptr = &slot;
+    if (_config.distribution == Distribution::FrontEndLard) {
+        // All requests enter through the front-end's port.
+        int fe_port = 2 * _config.nodes;
+        _external->send(client_port, fe_port, req_bytes,
+                        [this, file, slot_ptr,
+                         wire = std::move(wire)]() {
+                            frontEndRoute(file, wire, slot_ptr);
+                        });
+        return;
+    }
+    _external->send(client_port, node, req_bytes,
+                    [this, node, file, slot_ptr,
+                     wire = std::move(wire)]() {
+                        requestArrived(node, file, wire, slot_ptr);
+                    });
+}
+
+int
+PressCluster::lardPick(storage::FileId file)
+{
+    // LARD/R assignment (Pai et al., ASPLOS'98): serve from the file's
+    // server set; replicate onto the cluster's least-loaded node when
+    // the set's best member is overloaded while spare capacity exists.
+    int cluster_least = 0;
+    for (int i = 1; i < _config.nodes; ++i)
+        if (_feLoad[i] < _feLoad[cluster_least])
+            cluster_least = i;
+
+    auto &set = _feSets[file];
+    if (set.empty()) {
+        set.push_back(cluster_least);
+        return cluster_least;
+    }
+    int best = set[0];
+    for (int b : set)
+        if (_feLoad[b] < _feLoad[best])
+            best = b;
+    if (_feLoad[best] > _config.lardHigh &&
+        _feLoad[cluster_least] < _config.lardLow) {
+        set.push_back(cluster_least);
+        best = cluster_least;
+    }
+    return best;
+}
+
+void
+PressCluster::frontEndRoute(storage::FileId file,
+                            const net::Payload &wire, ClientSlot *slot)
+{
+    // The front-end is content-aware: it parses the request before
+    // picking a back-end (that is the whole point of LARD).
+    const auto *text = net::payloadAs<std::string>(wire);
+    PRESS_ASSERT(text, "client sent a non-HTTP payload");
+    auto parsed = http::parseRequest(*text);
+    if (!parsed) {
+        ++_badRequests;
+        return;
+    }
+    auto split = http::splitTarget(parsed.request->target);
+    auto resolved = split ? _site.resolve(split->path) : std::nullopt;
+    if (!resolved || *resolved != file) {
+        ++_badRequests;
+        return;
+    }
+    bool keep_alive = parsed.request->keepAlive();
+    std::uint64_t req_bytes = _requestWireBytes[file];
+
+    _feCpu->submit(_config.lardRouteCost, 0, [this, file, keep_alive,
+                                              req_bytes, slot]() {
+        int backend = lardPick(file);
+        ++_feLoad[backend];
+        int fe_port = 2 * _config.nodes;
+        // TCP hand-off: the connection migrates to the back-end, which
+        // replies to the client directly.
+        _external->send(
+            fe_port, backend, req_bytes,
+            [this, file, keep_alive, backend, slot]() {
+                _servers[backend]->handleClientRequest(
+                    file, [this, file, keep_alive, backend,
+                           slot](std::uint64_t) {
+                        --_feLoad[backend];
+                        http::Response resp = http::makeFileResponse(
+                            200, _trace.files.size(file),
+                            http::mimeType(_site.path(file)),
+                            keep_alive);
+                        int client_port =
+                            _config.nodes +
+                            (slot->index > 0 ? slot->index : 0) %
+                                _config.nodes;
+                        _external->send(backend, client_port,
+                                        resp.wireBytes(), [this, slot]() {
+                                            replyFinished(slot);
+                                        });
+                    });
+            });
+    });
+}
+
+void
+PressCluster::requestArrived(int node, storage::FileId file,
+                             const net::Payload &wire, ClientSlot *slot)
+{
+    // Ingress: parse the request text and resolve the path, exactly as
+    // the real server's accept path would (the simulated cost of this
+    // work is the parse step mu_p charged inside handleClientRequest).
+    const auto *text = net::payloadAs<std::string>(wire);
+    PRESS_ASSERT(text, "client sent a non-HTTP payload");
+    auto parsed = http::parseRequest(*text);
+    if (!parsed) {
+        ++_badRequests;
+        return;
+    }
+    auto split = http::splitTarget(parsed.request->target);
+    auto resolved = split ? _site.resolve(split->path) : std::nullopt;
+    if (!resolved || *resolved != file) {
+        ++_badRequests;
+        return;
+    }
+    bool keep_alive = parsed.request->keepAlive();
+
+    int client_port = _config.nodes + node;
+    _servers[node]->handleClientRequest(
+        file, [this, node, file, client_port, keep_alive,
+               slot](std::uint64_t) {
+            // Egress: build the HTTP response; its wire size replaces
+            // the server's header estimate.
+            http::Response resp = http::makeFileResponse(
+                200, _trace.files.size(file),
+                http::mimeType(_site.path(file)), keep_alive);
+            _external->send(node, client_port, resp.wireBytes(),
+                            [this, slot]() { replyFinished(slot); });
+        });
+}
+
+void
+PressCluster::resetForMeasurement()
+{
+    _measuring = true;
+    _measureStart = _sim.now();
+    if (_config.clientMode == PressConfig::ClientMode::OpenLoop)
+        scheduleArrival();
+    for (auto &node : _nodes) {
+        node->cpu().resetStats();
+        node->disk().resetStats();
+    }
+    for (auto &server : _servers)
+        server->resetStats();
+    for (auto &comm : _comms)
+        comm->txStats().reset();
+    _internal->resetStats();
+    _external->resetStats();
+}
+
+ClusterResults
+PressCluster::run(std::uint64_t max_requests)
+{
+    std::uint64_t measured =
+        max_requests ? std::min<std::uint64_t>(max_requests,
+                                               _trace.requests.size())
+                     : _trace.requests.size();
+    _warmupBoundary = static_cast<std::uint64_t>(
+        _config.warmupFraction * static_cast<double>(measured));
+    // Warm-up wraps around the trace so short traces still reach their
+    // steady state before measurement.
+    _feed = std::make_unique<workload::RequestFeed>(
+        _trace, _warmupBoundary + measured, /*wrap=*/true);
+    _measuring = false;
+    _measureStart = 0;
+    _lastReply = 0;
+
+    for (auto &slot : _clients) {
+        slot->active = true;
+        slot->closedLoop = true;
+        issueNext(*slot);
+    }
+    _sim.run();
+
+    if (!_measuring) {
+        // Tiny runs can finish inside the warm-up window.
+        util::warn("run finished before the warm-up boundary; measuring "
+                   "the whole run");
+        _measureStart = 0;
+    }
+
+    ClusterResults r;
+    r.configLabel = _config.label();
+    r.traceName = _trace.name;
+
+    sim::Tick window = std::max<sim::Tick>(_lastReply - _measureStart, 1);
+    r.measuredSeconds = sim::nsToSeconds(window);
+
+    std::uint64_t replies = 0;
+    double latency_sum = 0;
+    std::uint64_t latency_n = 0;
+    stats::LogHistogram latency_hist;
+    for (auto &server : _servers) {
+        const auto &s = server->stats();
+        replies += s.replies;
+        latency_sum += s.latency.sum();
+        latency_n += s.latency.count();
+        latency_hist.merge(s.latencyHist);
+        r.forwardFraction += static_cast<double>(s.forwardedOut);
+        r.localHitFraction += static_cast<double>(s.localCacheHits);
+        r.diskReads += s.localDiskReads + s.serviceDiskReads;
+        r.cacheInsertions += s.cacheInsertions;
+    }
+    r.requestsMeasured = replies;
+    r.throughput = static_cast<double>(replies) / r.measuredSeconds;
+    r.avgLatencyMs =
+        latency_n ? latency_sum / static_cast<double>(latency_n) / 1e6
+                  : 0.0;
+    r.p50LatencyMs = latency_hist.quantile(0.50) / 1e6;
+    r.p99LatencyMs = latency_hist.quantile(0.99) / 1e6;
+    std::uint64_t reqs = 0;
+    for (auto &server : _servers)
+        reqs += server->stats().requests;
+    if (reqs > 0) {
+        r.forwardFraction /= static_cast<double>(reqs);
+        r.localHitFraction /= static_cast<double>(reqs);
+    }
+
+    for (auto &comm : _comms) {
+        const auto &tx = comm->txStats();
+        for (int k = 0; k < static_cast<int>(MsgKind::NumKinds); ++k) {
+            r.comm.byKind[k].msgs += tx.byKind[k].msgs;
+            r.comm.byKind[k].bytes += tx.byKind[k].bytes;
+        }
+    }
+
+    sim::Tick busy_total = 0;
+    std::array<sim::Tick, osnode::NumCpuCategories> busy_by{};
+    double util_sum = 0, disk_sum = 0;
+    for (auto &node : _nodes) {
+        busy_total += node->cpu().busyTime();
+        for (int c = 0; c < osnode::NumCpuCategories; ++c)
+            busy_by[c] += node->cpu().busyTime(c);
+        util_sum +=
+            static_cast<double>(node->cpu().busyTime()) /
+            static_cast<double>(window);
+        disk_sum += static_cast<double>(node->disk().busyTime()) /
+                    static_cast<double>(window);
+    }
+    if (busy_total > 0)
+        for (int c = 0; c < osnode::NumCpuCategories; ++c)
+            r.cpuShare[c] = static_cast<double>(busy_by[c]) /
+                            static_cast<double>(busy_total);
+    r.cpuUtilization = util_sum / _config.nodes;
+    r.diskUtilization = disk_sum / _config.nodes;
+
+    return r;
+}
+
+} // namespace press::core

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Cluster assembly and experiment driver: the library's main entry
+ * point.
+ *
+ * PressCluster wires together a full experiment the way the paper's
+ * testbed does: N nodes with CPUs and disks, an internal network (Fast
+ * Ethernet or cLAN) carrying the chosen intra-cluster protocol, an
+ * external Fast Ethernet network toward the clients, and a closed-loop
+ * client population replaying a trace as fast as possible (timing
+ * information discarded, per Section 3.1). run() warms the caches over
+ * the first part of the stream, then measures throughput, message
+ * traffic per type, and the CPU-time breakdown.
+ */
+
+#ifndef PRESS_CORE_CLUSTER_HPP
+#define PRESS_CORE_CLUSTER_HPP
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "core/comm.hpp"
+#include "core/config.hpp"
+#include "core/press_server.hpp"
+#include "net/fabric.hpp"
+#include "osnode/node.hpp"
+#include "sim/simulator.hpp"
+#include "workload/site_map.hpp"
+#include "workload/trace.hpp"
+
+namespace press::core {
+
+/** Everything a run measures (the quantities behind Figures 1 and 3-6
+ *  and Tables 2 and 4). */
+struct ClusterResults {
+    std::string configLabel;
+    std::string traceName;
+
+    double throughput = 0;      ///< replies per second, measured window
+    double avgLatencyMs = 0;    ///< mean request latency
+    double p50LatencyMs = 0;    ///< median (log-bucket approximation)
+    double p99LatencyMs = 0;    ///< tail  (log-bucket approximation)
+    std::uint64_t requestsMeasured = 0;
+    double measuredSeconds = 0;
+
+    CommStats comm; ///< aggregated sender-side traffic (Tables 2/4)
+
+    /** Fractions of *busy* CPU time by osnode::CpuCategory. */
+    std::array<double, osnode::NumCpuCategories> cpuShare{};
+    double cpuUtilization = 0;  ///< mean across nodes
+    double diskUtilization = 0; ///< mean across nodes
+
+    double forwardFraction = 0;   ///< forwarded-out / requests
+    double localHitFraction = 0;  ///< initial-node cache hits / requests
+    std::uint64_t diskReads = 0;
+    std::uint64_t cacheInsertions = 0;
+
+    /** Intra-cluster share of busy CPU time (the Figure 1 metric). */
+    double intraCommShare() const;
+};
+
+/** A ready-to-run PRESS cluster. */
+class PressCluster
+{
+  public:
+    /**
+     * Build the full system for @p config serving @p trace. The trace
+     * must outlive the cluster.
+     */
+    PressCluster(const PressConfig &config, const workload::Trace &trace);
+
+    ~PressCluster();
+
+    PressCluster(const PressCluster &) = delete;
+    PressCluster &operator=(const PressCluster &) = delete;
+
+    /**
+     * Replay the trace to completion and return measurements.
+     *
+     * @param max_requests  truncate the stream (0 = whole trace);
+     *                      useful for quick runs — the paper-fidelity
+     *                      benches replay everything.
+     */
+    ClusterResults run(std::uint64_t max_requests = 0);
+
+    /**
+     * Write a gem5-style end-of-run statistics dump: per-node CPU
+     * category breakdowns, disk and NIC utilizations, per-server
+     * request counters and comm traffic. Call after run().
+     */
+    void dumpStats(std::ostream &os) const;
+
+    /** Access for tests and examples. @{ */
+    sim::Simulator &simulator() { return _sim; }
+    PressServer &server(int i) { return *_servers.at(i); }
+    ClusterComm &comm(int i) { return *_comms.at(i); }
+    const PressConfig &config() const { return _config; }
+    net::Fabric &internalFabric() { return *_internal; }
+    net::Fabric &externalFabric() { return *_external; }
+    const workload::SiteMap &siteMap() const { return _site; }
+    /** @} */
+
+    /** HTTP requests that failed to parse or resolve (0 for generated
+     *  clients; exposed for fault-injection tests). */
+    std::uint64_t badRequests() const { return _badRequests; }
+
+  private:
+    struct ClientSlot;
+
+    void issueNext(ClientSlot &slot);
+    void replyFinished(ClientSlot *slot);
+    void scheduleArrival();
+    void requestArrived(int node, storage::FileId file,
+                        const net::Payload &wire, ClientSlot *slot);
+    void resetForMeasurement();
+
+    PressConfig _config;
+    const workload::Trace &_trace;
+    sim::Simulator _sim;
+    std::unique_ptr<net::Fabric> _internal;
+    std::unique_ptr<net::Fabric> _external;
+    std::vector<std::unique_ptr<osnode::Node>> _nodes;
+    std::vector<std::unique_ptr<ClusterComm>> _comms;
+    std::vector<std::unique_ptr<PressServer>> _servers;
+    std::vector<std::unique_ptr<ClientSlot>> _clients;
+    std::unique_ptr<ClientSlot> _openSlot; ///< open-loop arrivals
+    std::unique_ptr<workload::RequestFeed> _feed;
+    util::Rng _clientRng;
+    workload::SiteMap _site;
+    std::vector<net::Payload> _requestWire; ///< per-file GET, lazily built
+    std::vector<std::uint32_t> _requestWireBytes;
+    std::uint64_t _badRequests = 0;
+
+    // LARD front-end state (Distribution::FrontEndLard only).
+    std::unique_ptr<sim::FifoResource> _feCpu;
+    std::vector<int> _feLoad; ///< per-back-end active connections
+    std::unordered_map<storage::FileId, std::vector<int>> _feSets;
+
+    void frontEndRoute(storage::FileId file, const net::Payload &wire,
+                       ClientSlot *slot);
+    int lardPick(storage::FileId file);
+
+    std::uint64_t _warmupBoundary = 0;
+    bool _measuring = false;
+    sim::Tick _measureStart = 0;
+    sim::Tick _lastReply = 0;
+};
+
+} // namespace press::core
+
+#endif // PRESS_CORE_CLUSTER_HPP

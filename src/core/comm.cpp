@@ -1,0 +1,23 @@
+#include "comm.hpp"
+
+namespace press::core {
+
+KindStats
+CommStats::total() const
+{
+    KindStats t;
+    for (const auto &k : byKind) {
+        t.msgs += k.msgs;
+        t.bytes += k.bytes;
+    }
+    return t;
+}
+
+void
+CommStats::reset()
+{
+    for (auto &k : byKind)
+        k = KindStats{};
+}
+
+} // namespace press::core

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The intra-cluster communication layer of PRESS.
+ *
+ * The server logic (press_server.hpp) is identical across all protocol
+ * and version configurations; everything Section 3 varies — TCP vs. VIA,
+ * remote memory writes, zero-copy, flow control — lives behind this
+ * interface. Versions differ only in *where CPU time and messages go*,
+ * which each backend charges to the node's CPU resource and records in
+ * per-kind statistics (reproducing Tables 2 and 4).
+ */
+
+#ifndef PRESS_CORE_COMM_HPP
+#define PRESS_CORE_COMM_HPP
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "core/messages.hpp"
+#include "sim/time.hpp"
+
+namespace press::core {
+
+/** Per-message-kind traffic counters (Table 2 / Table 4 rows). */
+struct KindStats {
+    std::uint64_t msgs = 0;
+    std::uint64_t bytes = 0;
+
+    double
+    avgSize() const
+    {
+        return msgs ? static_cast<double>(bytes) /
+                          static_cast<double>(msgs)
+                    : 0.0;
+    }
+};
+
+/** All five kinds plus totals. */
+struct CommStats {
+    std::array<KindStats, static_cast<int>(MsgKind::NumKinds)> byKind;
+
+    KindStats &
+    of(MsgKind k)
+    {
+        return byKind[static_cast<int>(k)];
+    }
+    const KindStats &
+    of(MsgKind k) const
+    {
+        return byKind[static_cast<int>(k)];
+    }
+
+    KindStats total() const;
+    void reset();
+};
+
+/** Upcall for messages arriving from other nodes. */
+using MessageHandler = std::function<void(const Incoming &)>;
+
+/** Supplies the node's current load for piggy-backing. */
+using LoadProvider = std::function<int()>;
+
+/** One node's end of the intra-cluster communication substrate. */
+class ClusterComm
+{
+  public:
+    virtual ~ClusterComm() = default;
+
+    /** Install the server's message upcall. */
+    void setHandler(MessageHandler handler) { _handler = std::move(handler); }
+
+    /** Install the piggy-back load source (may stay empty). */
+    void
+    setLoadProvider(LoadProvider provider)
+    {
+        _loadProvider = std::move(provider);
+    }
+
+    /** Explicit load broadcast to one node. */
+    virtual void sendLoad(int dst, const LoadMsg &msg) = 0;
+
+    /** Forward a request to its service node. */
+    virtual void sendForward(int dst, const ForwardMsg &msg) = 0;
+
+    /** Announce a cache insertion/eviction to one node. */
+    virtual void sendCaching(int dst, const CachingMsg &msg) = 0;
+
+    /** Transfer a file back to the initial node. */
+    virtual void sendFile(int dst, const FileMsg &msg) = 0;
+
+    /**
+     * The server is done using the buffer an arrived file occupied
+     * (after replying to the client). Backends whose receive path keeps
+     * the communication buffer alive until then (zero-copy receive)
+     * release the flow-control slot here; others ignore it.
+     */
+    virtual void fileBufferDone(int from) { (void)from; }
+
+    /**
+     * Per-request CPU overhead the communication scheme imposes on the
+     * server's main loop (e.g. polling remote-write rings); 0 for
+     * interrupt-driven backends.
+     */
+    virtual sim::Tick perRequestOverhead() const { return 0; }
+
+    /**
+     * Extra CPU the server must spend when (de)registering cache pages
+     * on insert/evict. Only version 5 registers the file cache with VIA.
+     */
+    virtual sim::Tick cacheInsertCost(std::uint64_t bytes) const
+    {
+        (void)bytes;
+        return 0;
+    }
+    virtual sim::Tick cacheEvictCost(std::uint64_t bytes) const
+    {
+        (void)bytes;
+        return 0;
+    }
+
+    /** Sender-side traffic stats (what Tables 2 and 4 report). */
+    const CommStats &txStats() const { return _tx; }
+    CommStats &txStats() { return _tx; }
+
+  protected:
+    /** Record an outgoing message for the Tables-2/4 accounting. */
+    void
+    recordSend(MsgKind kind, std::uint64_t bytes)
+    {
+        auto &s = _tx.of(kind);
+        ++s.msgs;
+        s.bytes += bytes;
+    }
+
+    /** Deliver an arrived message to the server. */
+    void
+    deliver(const Incoming &incoming)
+    {
+        if (_handler)
+            _handler(incoming);
+    }
+
+    /** Current load for piggy-backing; -1 when piggy-backing is off. */
+    int
+    piggyLoad() const
+    {
+        return _loadProvider ? _loadProvider() : -1;
+    }
+
+    MessageHandler _handler;
+    LoadProvider _loadProvider;
+    CommStats _tx;
+};
+
+} // namespace press::core
+
+#endif // PRESS_CORE_COMM_HPP

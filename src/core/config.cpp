@@ -1,0 +1,82 @@
+#include "config.hpp"
+
+namespace press::core {
+
+const char *
+protocolName(Protocol p)
+{
+    switch (p) {
+      case Protocol::TcpFastEthernet:
+        return "TCP/FE";
+      case Protocol::TcpClan:
+        return "TCP/cLAN";
+      case Protocol::ViaClan:
+        return "VIA/cLAN";
+    }
+    return "?";
+}
+
+const char *
+distributionName(Distribution d)
+{
+    switch (d) {
+      case Distribution::LocalityConscious:
+        return "PRESS";
+      case Distribution::LocalOnly:
+        return "oblivious";
+      case Distribution::FrontEndLard:
+        return "LARD";
+    }
+    return "?";
+}
+
+const char *
+versionName(Version v)
+{
+    switch (v) {
+      case Version::V0:
+        return "V0";
+      case Version::V1:
+        return "V1";
+      case Version::V2:
+        return "V2";
+      case Version::V3:
+        return "V3";
+      case Version::V4:
+        return "V4";
+      case Version::V5:
+        return "V5";
+    }
+    return "?";
+}
+
+std::string
+Dissemination::label() const
+{
+    switch (kind) {
+      case Kind::PiggyBack:
+        return "PB";
+      case Kind::Broadcast:
+        return (useRmw ? "L" : "L") + std::to_string(threshold) +
+               (useRmw ? "/rmw" : "");
+      case Kind::None:
+        return "NLB";
+    }
+    return "?";
+}
+
+std::string
+PressConfig::label() const
+{
+    std::string s = protocolName(protocol);
+    if (protocol == Protocol::ViaClan &&
+        distribution == Distribution::LocalityConscious)
+        s += std::string("-") + versionName(version);
+    if (!(dissemination.kind == Dissemination::Kind::PiggyBack))
+        s += "-" + dissemination.label();
+    if (distribution != Distribution::LocalityConscious)
+        s = std::string(distributionName(distribution)) + "(" + s + ")";
+    return s;
+}
+
+} // namespace press::core

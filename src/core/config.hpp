@@ -1,0 +1,175 @@
+/**
+ * @file
+ * PRESS server and experiment configuration.
+ */
+
+#ifndef PRESS_CORE_CONFIG_HPP
+#define PRESS_CORE_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "util/units.hpp"
+
+namespace press::core {
+
+/** Intra-cluster protocol/network combination (Section 3.2). */
+enum class Protocol {
+    TcpFastEthernet, ///< TCP over switched Fast Ethernet ("TCP/FE")
+    TcpClan,         ///< the complete TCP stack over cLAN ("TCP/cLAN")
+    ViaClan,         ///< VIA over cLAN ("VIA/cLAN")
+};
+
+const char *protocolName(Protocol p);
+
+/**
+ * Server version: the extent to which remote memory writes and zero-copy
+ * are used (Table 3). Only meaningful with Protocol::ViaClan.
+ */
+enum class Version {
+    V0, ///< regular messages for everything
+    V1, ///< + RMW flow control
+    V2, ///< + RMW forward and caching messages
+    V3, ///< + RMW file transfers (two messages per file)
+    V4, ///< + zero-copy receive (reply straight from the comm buffer)
+    V5, ///< + zero-copy transmit (cache pages registered with VIA)
+};
+
+const char *versionName(Version v);
+
+/**
+ * How requests are distributed across the cluster. The paper's server
+ * is the locality-conscious PRESS; the other modes are the comparison
+ * points its introduction and Section 2.2 discuss.
+ */
+enum class Distribution {
+    /** PRESS: content-aware, locality-conscious distribution with
+     *  intra-cluster forwarding (the paper's system). */
+    LocalityConscious,
+
+    /** Content-oblivious cluster: every node serves what it receives
+     *  from its own cache/disk; no intra-cluster communication. */
+    LocalOnly,
+
+    /**
+     * LARD-style front-end (Pai et al., ASPLOS'98): a content-aware
+     * front-end routes each request to a back-end that caches the file
+     * (building replica sets under load), and back-ends reply straight
+     * to clients — efficient but non-portable (TCP hand-off). PRESS's
+     * main published comparator: its 8-node throughput is within 7% of
+     * scalable LARD.
+     */
+    FrontEndLard,
+};
+
+const char *distributionName(Distribution d);
+
+/** Load-information dissemination strategy (Section 3.3). */
+struct Dissemination {
+    enum class Kind {
+        PiggyBack, ///< load carried in every intra-cluster message ("PB")
+        Broadcast, ///< explicit broadcasts on threshold ("L1"/"L4"/"L16")
+        None,      ///< no load information at all ("NLB")
+    };
+    Kind kind = Kind::PiggyBack;
+    int threshold = 1;     ///< connections delta triggering a broadcast
+    bool useRmw = false;   ///< broadcast loads with RMW instead of sends
+
+    static Dissemination piggyBack() { return {Kind::PiggyBack, 1, false}; }
+    static Dissemination
+    broadcast(int threshold, bool rmw = false)
+    {
+        return {Kind::Broadcast, threshold, rmw};
+    }
+    static Dissemination none() { return {Kind::None, 1, false}; }
+
+    std::string label() const;
+};
+
+/** Everything needed to instantiate a PRESS cluster. */
+struct PressConfig {
+    int nodes = 8;
+    Protocol protocol = Protocol::ViaClan;
+    Version version = Version::V0;
+    Distribution distribution = Distribution::LocalityConscious;
+    Dissemination dissemination = Dissemination::piggyBack();
+
+    /** LARD front-end thresholds (Pai et al.): a back-end above
+     *  lardHigh triggers replication when another sits below lardLow. */
+    int lardLow = 25;
+    int lardHigh = 65;
+
+    /** CPU cost of one front-end routing decision + TCP hand-off. */
+    sim::Tick lardRouteCost = 40 * util::US;
+
+    /**
+     * Per-node file-cache budget. The paper's nodes have 512 MB of
+     * RAM and PRESS caches aggressively; Table 2's near-zero steady-
+     * state caching traffic implies almost no churn, which 400 MB per
+     * node reproduces. (The *analytical model* instead uses C = 128 MB
+     * per Table 5 — see model::ModelParams.)
+     */
+    std::uint64_t cacheBytes = 400 * util::MB;
+
+    /** Overload threshold T on open connections (Section 2.2). */
+    int overloadThreshold = 80;
+
+    /** Requests for files at least this large are always served by the
+     *  initial node (Section 2.2). */
+    std::uint64_t largeFileCutoff = 512 * util::KB;
+
+    /**
+     * Closed-loop client connections per server node. 88 puts node
+     * loads just above the overload threshold T = 80, the regime whose
+     * replication/forwarding balance matches the paper's Table 2
+     * (forwarding fraction ~0.3) and Figures 3/5 gains.
+     */
+    int clientsPerNode = 88;
+
+    /** Client behaviour. The paper's methodology is closed-loop
+     *  ("clients issue new requests as soon as possible"); the
+     *  open-loop mode offers a fixed Poisson arrival rate instead,
+     *  for latency-under-load studies. */
+    enum class ClientMode { ClosedLoop, OpenLoop };
+    ClientMode clientMode = ClientMode::ClosedLoop;
+
+    /** Total offered load in requests/second (OpenLoop only). */
+    double openLoopRate = 4000.0;
+
+    /** Flow-control window: receive buffers per channel per direction,
+     *  and the batch size for returning credits. */
+    int controlWindow = 8;
+    int controlCreditBatch = 4;
+    int fileWindow = 8;
+    int fileCreditBatch = 4;
+
+    /**
+     * Cache warm-up, as a multiple of the measured request count: the
+     * stream is replayed (wrapping around the trace) for
+     * warmupFraction * measured requests before measurement starts.
+     * The default of 1.0 — one full extra pass — approximates the
+     * paper's 5-minute warm-up.
+     */
+    double warmupFraction = 1.0;
+
+    /**
+     * Per-node relative CPU speeds (empty = homogeneous cluster). A
+     * heterogeneous cluster is where load-aware distribution earns its
+     * keep; see the heterogeneity ablation bench.
+     */
+    std::vector<double> cpuSpeeds;
+
+    /** Seed for client node-selection randomness. */
+    std::uint64_t seed = 7;
+
+    Calibration calibration = Calibration::defaults();
+
+    /** Short label like "VIA/cLAN-V5" for tables. */
+    std::string label() const;
+};
+
+} // namespace press::core
+
+#endif // PRESS_CORE_CONFIG_HPP

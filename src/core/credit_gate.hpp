@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Window-based flow control for intra-cluster channels.
+ *
+ * VIA receive descriptors (regular messages) and circular-buffer slots
+ * (remote memory writes) are finite; a sender must hold a credit per
+ * in-flight message and stall otherwise. PRESS implements this with its
+ * fifth message type — very short messages carrying numbers of empty
+ * buffer slots (Section 2.2) — which the comm backends send through
+ * CreditGate's release path.
+ */
+
+#ifndef PRESS_CORE_CREDIT_GATE_HPP
+#define PRESS_CORE_CREDIT_GATE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "util/logging.hpp"
+
+namespace press::core {
+
+/** A counting gate: run thunks while credits last, queue the rest. */
+class CreditGate
+{
+  public:
+    explicit CreditGate(int window) : _credits(window), _window(window)
+    {
+        PRESS_ASSERT(window > 0, "flow-control window must be positive");
+    }
+
+    /**
+     * Run @p thunk now if a credit is free (consuming it), else queue it.
+     * @return true when it ran immediately.
+     */
+    bool
+    acquire(std::function<void()> thunk)
+    {
+        if (_credits > 0) {
+            --_credits;
+            thunk();
+            return true;
+        }
+        ++_stalls;
+        _waiting.push_back(std::move(thunk));
+        return false;
+    }
+
+    /** Return @p n credits, running queued thunks as they free up. */
+    void
+    release(int n)
+    {
+        _credits += n;
+        PRESS_ASSERT(_credits <= _window,
+                     "credit over-release: ", _credits, " > ", _window);
+        while (_credits > 0 && !_waiting.empty()) {
+            --_credits;
+            auto thunk = std::move(_waiting.front());
+            _waiting.pop_front();
+            thunk();
+        }
+    }
+
+    int credits() const { return _credits; }
+    int window() const { return _window; }
+    std::size_t backlog() const { return _waiting.size(); }
+    std::uint64_t stalls() const { return _stalls; }
+
+  private:
+    int _credits;
+    int _window;
+    std::deque<std::function<void()>> _waiting;
+    std::uint64_t _stalls = 0;
+};
+
+/**
+ * The consumer side of a window: counts consumed slots and fires a
+ * callback whenever @p batch of them accumulate, batching credit-return
+ * messages the way PRESS does.
+ */
+class CreditReturner
+{
+  public:
+    CreditReturner(int batch, std::function<void(int)> send_credits)
+        : _batch(batch), _send(std::move(send_credits))
+    {
+        PRESS_ASSERT(batch > 0, "credit batch must be positive");
+    }
+
+    /** Note one consumed slot. */
+    void
+    consumed()
+    {
+        if (++_pending >= _batch)
+            flush();
+    }
+
+    /** Send whatever credits are pending. */
+    void
+    flush()
+    {
+        if (_pending == 0)
+            return;
+        int n = _pending;
+        _pending = 0;
+        _send(n);
+    }
+
+    int pending() const { return _pending; }
+
+  private:
+    int _batch;
+    int _pending = 0;
+    std::function<void(int)> _send;
+};
+
+} // namespace press::core
+
+#endif // PRESS_CORE_CREDIT_GATE_HPP

@@ -1,0 +1,116 @@
+#include "directories.hpp"
+
+#include "util/logging.hpp"
+
+namespace press::core {
+
+LoadDirectory::LoadDirectory(int nodes, int self)
+    : _loads(nodes, 0), _self(self)
+{
+    PRESS_ASSERT(nodes > 0, "empty cluster");
+    PRESS_ASSERT(self >= 0 && self < nodes, "bad self id");
+}
+
+void
+LoadDirectory::update(int node, int load)
+{
+    PRESS_ASSERT(node >= 0 && node < nodes(), "bad node id ", node);
+    _loads[node] = load;
+}
+
+int
+LoadDirectory::load(int node) const
+{
+    PRESS_ASSERT(node >= 0 && node < nodes(), "bad node id ", node);
+    return _loads[node];
+}
+
+int
+LoadDirectory::leastLoaded() const
+{
+    int best = 0;
+    for (int i = 1; i < nodes(); ++i)
+        if (_loads[i] < _loads[best])
+            best = i;
+    return best;
+}
+
+CacheDirectory::CacheDirectory(int nodes) : _nodes(nodes)
+{
+    PRESS_ASSERT(nodes > 0 && nodes <= 64,
+                 "CacheDirectory supports 1..64 nodes, got ", nodes);
+}
+
+void
+CacheDirectory::update(int node, storage::FileId file, bool cached)
+{
+    PRESS_ASSERT(node >= 0 && node < _nodes, "bad node id ", node);
+    std::uint64_t bit = std::uint64_t{1} << node;
+    if (cached) {
+        _masks[file] |= bit;
+    } else {
+        auto it = _masks.find(file);
+        if (it == _masks.end())
+            return;
+        it->second &= ~bit;
+        if (it->second == 0)
+            _masks.erase(it);
+    }
+}
+
+bool
+CacheDirectory::anyoneCaches(storage::FileId file) const
+{
+    return mask(file) != 0;
+}
+
+bool
+CacheDirectory::caches(int node, storage::FileId file) const
+{
+    PRESS_ASSERT(node >= 0 && node < _nodes, "bad node id ", node);
+    return (mask(file) >> node) & 1;
+}
+
+std::uint64_t
+CacheDirectory::mask(storage::FileId file) const
+{
+    auto it = _masks.find(file);
+    return it == _masks.end() ? 0 : it->second;
+}
+
+int
+CacheDirectory::leastLoadedCaching(storage::FileId file,
+                                   const LoadDirectory &loads) const
+{
+    std::uint64_t m = mask(file);
+    int best = -1;
+    for (int i = 0; i < _nodes; ++i) {
+        if (!((m >> i) & 1))
+            continue;
+        if (best < 0 || loads.load(i) < loads.load(best))
+            best = i;
+    }
+    return best;
+}
+
+int
+CacheDirectory::randomCaching(storage::FileId file, util::Rng &rng) const
+{
+    std::uint64_t m = mask(file);
+    if (m == 0)
+        return -1;
+    int count = 0;
+    for (int i = 0; i < _nodes; ++i)
+        count += (m >> i) & 1;
+    int pick = static_cast<int>(rng.uniformInt(count));
+    for (int i = 0; i < _nodes; ++i) {
+        if ((m >> i) & 1) {
+            if (pick == 0)
+                return i;
+            --pick;
+        }
+    }
+    return -1;
+}
+
+} // namespace press::core

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-node directories of cluster-wide locality and load information.
+ *
+ * Each PRESS node keeps (1) the last load value it heard from every other
+ * node and (2) which nodes cache which files. Both views are *eventually
+ * consistent*: they are updated only by arriving messages, so they can be
+ * stale — exactly the effect Section 3.3 studies.
+ */
+
+#ifndef PRESS_CORE_DIRECTORIES_HPP
+#define PRESS_CORE_DIRECTORIES_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/file_set.hpp"
+#include "util/random.hpp"
+
+namespace press::core {
+
+/** A node's view of every node's load (open connections). */
+class LoadDirectory
+{
+  public:
+    /** @param nodes  cluster size; @param self  the owning node's id. */
+    LoadDirectory(int nodes, int self);
+
+    /** Record a load report from @p node. */
+    void update(int node, int load);
+
+    /** Last known load of @p node (the owner's is always current). */
+    int load(int node) const;
+
+    /** The owner updates its own entry directly. */
+    void setSelf(int load) { _loads[_self] = load; }
+
+    /** Least-loaded node in the whole cluster (ties: lowest id). */
+    int leastLoaded() const;
+
+    int nodes() const { return static_cast<int>(_loads.size()); }
+    int self() const { return _self; }
+
+  private:
+    std::vector<int> _loads;
+    int _self;
+};
+
+/**
+ * A node's view of which nodes cache which files, stored as bitmasks.
+ * Cluster sizes beyond 64 nodes are model-only in this repo, so a 64-bit
+ * mask suffices (checked at construction).
+ */
+class CacheDirectory
+{
+  public:
+    explicit CacheDirectory(int nodes);
+
+    /** Process a caching-information update. */
+    void update(int node, storage::FileId file, bool cached);
+
+    /** True when any node caches @p file, according to this view. */
+    bool anyoneCaches(storage::FileId file) const;
+
+    /** True when @p node is believed to cache @p file. */
+    bool caches(int node, storage::FileId file) const;
+
+    /** Bitmask of caching nodes (0 when unknown file). */
+    std::uint64_t mask(storage::FileId file) const;
+
+    /**
+     * The least-loaded node caching @p file according to @p loads
+     * (ties: lowest id); -1 when nobody caches it.
+     */
+    int leastLoadedCaching(storage::FileId file,
+                           const LoadDirectory &loads) const;
+
+    /**
+     * A uniformly random caching node (for the no-load-balancing
+     * configuration); -1 when nobody caches it.
+     */
+    int randomCaching(storage::FileId file, util::Rng &rng) const;
+
+    /** Distinct files known to be cached somewhere. */
+    std::size_t knownFiles() const { return _masks.size(); }
+
+  private:
+    int _nodes;
+    std::unordered_map<storage::FileId, std::uint64_t> _masks;
+};
+
+} // namespace press::core
+
+#endif // PRESS_CORE_DIRECTORIES_HPP

@@ -1,0 +1,25 @@
+#include "messages.hpp"
+
+namespace press::core {
+
+const char *
+msgKindName(MsgKind kind)
+{
+    switch (kind) {
+      case MsgKind::Load:
+        return "Load";
+      case MsgKind::Flow:
+        return "Flow";
+      case MsgKind::Forward:
+        return "Forward";
+      case MsgKind::Caching:
+        return "Caching";
+      case MsgKind::File:
+        return "File";
+      case MsgKind::NumKinds:
+        break;
+    }
+    return "?";
+}
+
+} // namespace press::core

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The five intra-cluster message types of PRESS (Section 2.2):
+ * load information, caching information, request forwarding, file
+ * transfer, and window-based flow control.
+ */
+
+#ifndef PRESS_CORE_MESSAGES_HPP
+#define PRESS_CORE_MESSAGES_HPP
+
+#include <cstdint>
+
+#include "net/payload.hpp"
+#include "storage/file_set.hpp"
+
+namespace press::core {
+
+/** Message categories, used for accounting (Tables 2 and 4). */
+enum class MsgKind : int {
+    Load = 0, ///< very short: a node's open-connection count
+    Flow,     ///< very short: empty-buffer-slot credits
+    Forward,  ///< short: a file name (request forwarding)
+    Caching,  ///< short: a file name (cache add/evict broadcast)
+    File,     ///< long: file data (and the V3+ metadata companion)
+    NumKinds,
+};
+
+const char *msgKindName(MsgKind kind);
+
+/** Explicit load broadcast. */
+struct LoadMsg {
+    int load = 0;
+};
+
+/** Which flow-controlled channel a credit refers to. */
+enum class FlowChannel : int {
+    Regular = 0, ///< pre-posted regular-message descriptors
+    Forward,     ///< forward-ring slots (RMW versions)
+    Caching,     ///< caching-ring slots (RMW versions)
+    File,        ///< file-ring slots (RMW versions)
+    NumChannels,
+};
+
+/** Flow-control credit return. */
+struct FlowMsg {
+    int credits = 0;
+    FlowChannel channel = FlowChannel::Regular;
+};
+
+/** Request forwarding: "service this file for me". */
+struct ForwardMsg {
+    storage::FileId file = storage::InvalidFile;
+    std::uint32_t tag = 0; ///< initial node's request tag
+};
+
+/** Caching information: a file entered or left a node's cache. */
+struct CachingMsg {
+    storage::FileId file = storage::InvalidFile;
+    bool cached = false; ///< true = now cached, false = evicted
+};
+
+/** File transfer: the reply to a ForwardMsg. */
+struct FileMsg {
+    storage::FileId file = storage::InvalidFile;
+    std::uint32_t tag = 0;  ///< echoes ForwardMsg::tag
+    std::uint32_t bytes = 0;
+};
+
+/** A message as delivered to the server layer. */
+struct Incoming {
+    MsgKind kind = MsgKind::NumKinds;
+    int from = -1;
+    net::Payload body;
+    int piggyLoad = -1; ///< sender load piggy-backed on the message, or -1
+};
+
+} // namespace press::core
+
+#endif // PRESS_CORE_MESSAGES_HPP

@@ -1,0 +1,319 @@
+#include "press_server.hpp"
+
+#include <cstdlib>
+
+#include "core/wire.hpp"
+#include "util/logging.hpp"
+
+namespace press::core {
+
+using osnode::CatClientComm;
+using osnode::CatIntraComm;
+using osnode::CatService;
+using storage::FileId;
+
+PressServer::PressServer(sim::Simulator &sim, const PressConfig &config,
+                         int id, osnode::Node &node,
+                         const storage::FileSet &files, ClusterComm &comm,
+                         std::uint64_t seed)
+    : _sim(sim),
+      _config(config),
+      _cal(config.calibration),
+      _id(id),
+      _node(node),
+      _files(files),
+      _comm(comm),
+      _rng(seed),
+      _cache(config.cacheBytes),
+      _cacheDir(config.nodes),
+      _loadDir(config.nodes, id)
+{
+    _comm.setHandler([this](const Incoming &in) { onMessage(in); });
+    if (_config.dissemination.kind == Dissemination::Kind::PiggyBack)
+        _comm.setLoadProvider([this]() { return load(); });
+}
+
+sim::Tick
+PressServer::replyCost(std::uint64_t bytes) const
+{
+    return _cal.service.replyFixed +
+           static_cast<sim::Tick>(_cal.service.replyPerByte *
+                                  static_cast<double>(bytes));
+}
+
+void
+PressServer::handleClientRequest(FileId file, ReplyFn on_reply)
+{
+    ++_stats.requests;
+    ++_openConnections;
+    loadChanged();
+
+    std::uint32_t tag = _nextTag++;
+    _pending.emplace(tag, Pending{file, std::move(on_reply), _sim.now()});
+
+    sim::Tick cost = _cal.service.parse + _cal.service.loopPass +
+                     _comm.perRequestOverhead();
+    _node.cpu().submit(cost, CatService,
+                       [this, file, tag]() { dispatch(file, tag); });
+}
+
+void
+PressServer::dispatch(FileId file, std::uint32_t tag)
+{
+    std::uint64_t size = _files.size(file);
+
+    // Content-oblivious / front-end-routed modes: whatever arrives is
+    // served here, from the local cache or disk.
+    if (_config.distribution != Distribution::LocalityConscious) {
+        serveLocal(file, tag, false);
+        return;
+    }
+
+    // Rule 1: large files are always serviced by the initial node.
+    if (size >= _config.largeFileCutoff) {
+        ++_stats.largeFileServes;
+        serveLocal(file, tag, false);
+        return;
+    }
+    // Rule 2: already cached here -> local.
+    if (_cache.contains(file)) {
+        serveLocal(file, tag, false);
+        return;
+    }
+    // Rule 3: first access anywhere -> local (brings it into the
+    // cluster cache).
+    if (!_cacheDir.anyoneCaches(file)) {
+        serveLocal(file, tag, false);
+        return;
+    }
+
+    // Rule 4: pick a service node among the caching nodes.
+    int candidate;
+    if (_config.dissemination.kind == Dissemination::Kind::None) {
+        // No load information: any caching node will do.
+        candidate = _cacheDir.randomCaching(file, _rng);
+    } else {
+        candidate = _cacheDir.leastLoadedCaching(file, _loadDir);
+    }
+    PRESS_ASSERT(candidate >= 0, "directory said cached but empty mask");
+    if (candidate == _id) {
+        serveLocal(file, tag, false);
+        return;
+    }
+
+    bool forward = true;
+    if (_config.dissemination.kind != Dissemination::Kind::None) {
+        int t = _config.overloadThreshold;
+        if (_loadDir.load(candidate) > t) {
+            // Candidate overloaded: forward anyway only when this node
+            // and the cluster's least-loaded node are overloaded too;
+            // otherwise serve locally, replicating the file.
+            int least = _loadDir.leastLoaded();
+            bool all_overloaded =
+                load() > t && _loadDir.load(least) > t;
+            forward = all_overloaded;
+        }
+    }
+
+    if (forward) {
+        ++_stats.forwardedOut;
+        _comm.sendForward(candidate, ForwardMsg{file, tag});
+    } else {
+        ++_stats.overloadLocalServes;
+        serveLocal(file, tag, true);
+    }
+}
+
+void
+PressServer::serveLocal(FileId file, std::uint32_t tag,
+                        bool count_overload_serve)
+{
+    (void)count_overload_serve;
+    std::uint64_t size = _files.size(file);
+
+    if (_cache.contains(file)) {
+        ++_stats.localCacheHits;
+        _cache.touch(file);
+        reply(tag, size, /*buffer_owner=*/-1);
+        return;
+    }
+
+    ++_stats.localDiskReads;
+    _node.disk().read(size, [this, file, tag, size]() {
+        // Disk helper thread hands the buffer back to the main thread.
+        _node.cpu().submit(_cal.service.cacheOp, CatService,
+                           [this, file, tag, size]() {
+                               if (size < _config.largeFileCutoff)
+                                   insertIntoCache(file);
+                               reply(tag, size, /*buffer_owner=*/-1);
+                           });
+    });
+}
+
+void
+PressServer::reply(std::uint32_t tag, std::uint64_t file_bytes,
+                   int buffer_owner)
+{
+    auto it = _pending.find(tag);
+    PRESS_ASSERT(it != _pending.end(), "reply for unknown tag ", tag);
+    Pending pending = std::move(it->second);
+    _pending.erase(it);
+
+    std::uint64_t bytes = file_bytes + _cal.sizes.httpReplyHeader;
+    _node.cpu().submit(
+        replyCost(bytes), CatClientComm,
+        [this, pending = std::move(pending), bytes, buffer_owner]() {
+            if (buffer_owner >= 0)
+                _comm.fileBufferDone(buffer_owner);
+            ++_stats.replies;
+            if (pending.start >= _statsEpoch) {
+                auto ns =
+                    static_cast<double>(_sim.now() - pending.start);
+                _stats.latency.add(ns);
+                _stats.latencyHist.add(ns);
+            }
+            --_openConnections;
+            loadChanged();
+            if (pending.onReply)
+                pending.onReply(bytes);
+        });
+}
+
+void
+PressServer::onMessage(const Incoming &in)
+{
+    if (in.piggyLoad >= 0 && in.from != _id)
+        _loadDir.update(in.from, in.piggyLoad);
+
+    switch (in.kind) {
+      case MsgKind::Load: {
+        const auto *msg = bodyAs<LoadMsg>(in);
+        PRESS_ASSERT(msg, "Load message without body");
+        _loadDir.update(in.from, msg->load);
+        break;
+      }
+      case MsgKind::Caching: {
+        const auto *msg = bodyAs<CachingMsg>(in);
+        PRESS_ASSERT(msg, "Caching message without body");
+        _cacheDir.update(in.from, msg->file, msg->cached);
+        break;
+      }
+      case MsgKind::Forward: {
+        const auto *msg = bodyAs<ForwardMsg>(in);
+        PRESS_ASSERT(msg, "Forward message without body");
+        handleForward(in.from, *msg);
+        break;
+      }
+      case MsgKind::File: {
+        const auto *msg = bodyAs<FileMsg>(in);
+        PRESS_ASSERT(msg, "File message without body");
+        handleFileArrival(in.from, *msg);
+        break;
+      }
+      case MsgKind::Flow:
+        break; // handled inside the comm layer
+      default:
+        util::panic("unexpected message kind");
+    }
+}
+
+void
+PressServer::handleForward(int from, const ForwardMsg &msg)
+{
+    ++_stats.forwardedIn;
+    ++_servicingRemote;
+    loadChanged();
+
+    FileId file = msg.file;
+    std::uint32_t size = _files.size(file);
+    std::uint32_t tag = msg.tag;
+
+    auto send_back = [this, from, file, size, tag]() {
+        _comm.sendFile(from, FileMsg{file, tag, size});
+        --_servicingRemote;
+        loadChanged();
+    };
+
+    if (_cache.contains(file)) {
+        _cache.touch(file);
+        send_back();
+        return;
+    }
+
+    // Not cached (stale directory at the initial node, or we evicted
+    // it): read from disk, cache it, then transfer.
+    ++_stats.serviceDiskReads;
+    _node.disk().read(size, [this, file, send_back]() {
+        _node.cpu().submit(_cal.service.cacheOp, CatService,
+                           [this, file, send_back]() {
+                               insertIntoCache(file);
+                               send_back();
+                           });
+    });
+}
+
+void
+PressServer::handleFileArrival(int from, const FileMsg &msg)
+{
+    // The initial node got the file; reply to the client straight away
+    // (it deliberately does not cache the file).
+    reply(msg.tag, msg.bytes, /*buffer_owner=*/from);
+}
+
+void
+PressServer::insertIntoCache(FileId file)
+{
+    std::uint32_t size = _files.size(file);
+    auto evicted = _cache.insert(file, size);
+    if (!_cache.contains(file))
+        return; // larger than the whole cache: streamed, not cached
+
+    ++_stats.cacheInsertions;
+
+    // Version 5 pins the new pages for VIA; evictions unpin.
+    sim::Tick reg = _comm.cacheInsertCost(size);
+    for (const auto &ev : evicted)
+        reg += _comm.cacheEvictCost(ev.size);
+    if (reg > 0)
+        _node.cpu().submit(reg, CatIntraComm);
+
+    // Update the local view and broadcast caching information (only
+    // the locality-conscious server has anyone listening).
+    _cacheDir.update(_id, file, true);
+    for (const auto &ev : evicted) {
+        ++_stats.cacheEvictions;
+        _cacheDir.update(_id, ev.file, false);
+    }
+    if (_config.distribution != Distribution::LocalityConscious)
+        return;
+    for (int j = 0; j < _config.nodes; ++j) {
+        if (j == _id)
+            continue;
+        _comm.sendCaching(j, CachingMsg{file, true});
+        for (const auto &ev : evicted)
+            _comm.sendCaching(j, CachingMsg{ev.file, false});
+    }
+}
+
+void
+PressServer::loadChanged()
+{
+    int current = load();
+    _loadDir.setSelf(current);
+
+    if (_config.distribution != Distribution::LocalityConscious)
+        return; // nobody consumes load reports in the other modes
+    if (_config.dissemination.kind != Dissemination::Kind::Broadcast)
+        return;
+    if (std::abs(current - _lastBroadcastLoad) <
+        _config.dissemination.threshold)
+        return;
+    _lastBroadcastLoad = current;
+    for (int j = 0; j < _config.nodes; ++j) {
+        if (j == _id)
+            continue;
+        _comm.sendLoad(j, LoadMsg{current});
+    }
+}
+
+} // namespace press::core

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The PRESS server logic running on one cluster node.
+ *
+ * This is the paper's Section 2.2 verbatim: a request arriving at its
+ * *initial node* is parsed and either serviced locally or forwarded to a
+ * *service node* chosen for cache locality and load. Large files
+ * (>= 512 KB) and first-touch files are always local; otherwise the
+ * least-loaded node caching the file serves it unless it is overloaded
+ * while the initial node is not — in which case the initial node serves
+ * from disk, creating a replica (the mechanism that spreads popular
+ * files). The initial node never caches a file received from a service
+ * node, to avoid excessive replication.
+ *
+ * All protocol/version differences live behind ClusterComm; the server
+ * code is identical for TCP/FE, TCP/cLAN and VIA V0-V5.
+ */
+
+#ifndef PRESS_CORE_PRESS_SERVER_HPP
+#define PRESS_CORE_PRESS_SERVER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "core/comm.hpp"
+#include "core/config.hpp"
+#include "core/directories.hpp"
+#include "osnode/node.hpp"
+#include "stats/accumulator.hpp"
+#include "stats/histogram.hpp"
+#include "storage/file_cache.hpp"
+#include "storage/file_set.hpp"
+#include "util/random.hpp"
+
+namespace press::core {
+
+/** Invoked when the reply for a client request is ready to transmit;
+ *  @p bytes is the full reply size (headers + file). */
+using ReplyFn = std::function<void(std::uint64_t bytes)>;
+
+/** Counters one server instance accumulates. */
+struct ServerStats {
+    std::uint64_t requests = 0;     ///< client requests accepted
+    std::uint64_t replies = 0;      ///< replies handed to the client net
+    std::uint64_t localCacheHits = 0;
+    std::uint64_t localDiskReads = 0; ///< disk reads as initial node
+    std::uint64_t forwardedOut = 0;   ///< requests sent to a service node
+    std::uint64_t forwardedIn = 0;    ///< requests serviced for others
+    std::uint64_t serviceDiskReads = 0;
+    std::uint64_t overloadLocalServes = 0; ///< replica-creating serves
+    std::uint64_t cacheInsertions = 0;
+    std::uint64_t cacheEvictions = 0;
+    std::uint64_t largeFileServes = 0;
+    stats::Accumulator latency;      ///< request latency, ns
+    stats::LogHistogram latencyHist; ///< same samples, for percentiles
+
+    void reset() { *this = ServerStats{}; }
+};
+
+/** One PRESS node. */
+class PressServer
+{
+  public:
+    /**
+     * @param sim     simulator
+     * @param config  cluster configuration
+     * @param id      this node's id
+     * @param node    CPU/disk resources
+     * @param files   the served file population
+     * @param comm    intra-cluster communication endpoint
+     * @param seed    per-node randomness (NLB service-node choice)
+     */
+    PressServer(sim::Simulator &sim, const PressConfig &config, int id,
+                osnode::Node &node, const storage::FileSet &files,
+                ClusterComm &comm, std::uint64_t seed);
+
+    PressServer(const PressServer &) = delete;
+    PressServer &operator=(const PressServer &) = delete;
+
+    /**
+     * A client request for @p file arrived at this node (it is the
+     * initial node). @p on_reply fires when the reply is ready for the
+     * external network.
+     */
+    void handleClientRequest(storage::FileId file, ReplyFn on_reply);
+
+    /** This node's load metric: client connections it is handling plus
+     *  forwarded requests it is servicing. */
+    int load() const { return _openConnections + _servicingRemote; }
+
+    const ServerStats &stats() const { return _stats; }
+
+    /** Reset counters; latency samples of requests already in flight
+     *  are excluded from the new window. */
+    void
+    resetStats()
+    {
+        _stats.reset();
+        _statsEpoch = _sim.now();
+    }
+
+    const storage::FileCache &cache() const { return _cache; }
+    const CacheDirectory &cacheDirectory() const { return _cacheDir; }
+    const LoadDirectory &loadDirectory() const { return _loadDir; }
+    int id() const { return _id; }
+
+  private:
+    struct Pending {
+        storage::FileId file;
+        ReplyFn onReply;
+        sim::Tick start;
+    };
+
+    /** Distribution decision for a parsed request. */
+    void dispatch(storage::FileId file, std::uint32_t tag);
+
+    /** Service a request on this node (as initial node). */
+    void serveLocal(storage::FileId file, std::uint32_t tag,
+                    bool count_overload_serve);
+
+    /** Send the reply for a pending request to the client. */
+    void reply(std::uint32_t tag, std::uint64_t file_bytes,
+               int buffer_owner);
+
+    /** Intra-cluster message upcall. */
+    void onMessage(const Incoming &incoming);
+    void handleForward(int from, const ForwardMsg &msg);
+    void handleFileArrival(int from, const FileMsg &msg);
+
+    /** Insert @p file into the cache: bookkeeping, V5 registration,
+     *  caching-information broadcasts. */
+    void insertIntoCache(storage::FileId file);
+
+    /** Recompute the load metric, broadcasting per the dissemination
+     *  strategy when it moved enough. */
+    void loadChanged();
+
+    /** CPU cost of replying to a client with @p bytes of data. */
+    sim::Tick replyCost(std::uint64_t bytes) const;
+
+    sim::Simulator &_sim;
+    const PressConfig &_config;
+    const Calibration &_cal;
+    int _id;
+    osnode::Node &_node;
+    const storage::FileSet &_files;
+    ClusterComm &_comm;
+    util::Rng _rng;
+
+    storage::FileCache _cache;
+    CacheDirectory _cacheDir;
+    LoadDirectory _loadDir;
+
+    sim::Tick _statsEpoch = 0;
+    int _openConnections = 0;
+    int _servicingRemote = 0;
+    int _lastBroadcastLoad = 0;
+    std::uint32_t _nextTag = 1;
+    std::unordered_map<std::uint32_t, Pending> _pending;
+    ServerStats _stats;
+};
+
+} // namespace press::core
+
+#endif // PRESS_CORE_PRESS_SERVER_HPP

@@ -1,0 +1,109 @@
+#include "tcp_comm.hpp"
+
+#include "osnode/node.hpp"
+#include "util/logging.hpp"
+
+namespace press::core {
+
+using osnode::CatIntraComm;
+
+TcpComm::TcpComm(sim::Simulator &sim, int node, int nodes,
+                 sim::FifoResource &cpu, net::Fabric &fabric,
+                 const Calibration &cal, tcpnet::TcpCosts stack_costs)
+    : _sim(sim),
+      _node(node),
+      _cpu(cpu),
+      _cal(cal),
+      _stack(sim, fabric, node, cpu, CatIntraComm, stack_costs),
+      _channelTo(nodes, nullptr)
+{
+}
+
+void
+TcpComm::connectMesh(std::vector<std::unique_ptr<TcpComm>> &comms,
+                     std::uint64_t sockbuf)
+{
+    for (std::size_t i = 0; i < comms.size(); ++i) {
+        for (std::size_t j = i + 1; j < comms.size(); ++j) {
+            auto [ij, ji] = tcpnet::TcpStack::connect(
+                comms[i]->_stack, comms[j]->_stack, sockbuf);
+            comms[i]->_channelTo[j] = ij;
+            comms[j]->_channelTo[i] = ji;
+            TcpComm *ci = comms[i].get();
+            TcpComm *cj = comms[j].get();
+            ij->onReceive([cj](std::uint64_t, const net::Payload &p) {
+                cj->handleArrival(p);
+            });
+            ji->onReceive([ci](std::uint64_t, const net::Payload &p) {
+                ci->handleArrival(p);
+            });
+        }
+    }
+}
+
+void
+TcpComm::sendLoad(int dst, const LoadMsg &msg)
+{
+    sendWire(dst, MsgKind::Load, _cal.sizes.load, msg);
+}
+
+void
+TcpComm::sendForward(int dst, const ForwardMsg &msg)
+{
+    sendWire(dst, MsgKind::Forward, _cal.sizes.forward, msg);
+}
+
+void
+TcpComm::sendCaching(int dst, const CachingMsg &msg)
+{
+    sendWire(dst, MsgKind::Caching, _cal.sizes.caching, msg);
+}
+
+void
+TcpComm::sendFile(int dst, const FileMsg &msg)
+{
+    sendWire(dst, MsgKind::File, _cal.sizes.fileHeader + msg.bytes, msg);
+}
+
+void
+TcpComm::sendWire(int dst, MsgKind kind, std::uint64_t logical_bytes,
+                  Body body)
+{
+    PRESS_ASSERT(dst >= 0 && dst < static_cast<int>(_channelTo.size()) &&
+                     dst != _node,
+                 "bad destination ", dst);
+    tcpnet::TcpChannel *channel = _channelTo[dst];
+    PRESS_ASSERT(channel, "mesh not connected");
+
+    WireMsg w;
+    w.kind = kind;
+    w.from = _node;
+    w.piggyLoad = piggyLoad();
+    w.body = std::move(body);
+    if (w.piggyLoad >= 0)
+        logical_bytes += 4; // piggy-backed load word (Table 2 sizes)
+
+    recordSend(kind, logical_bytes);
+
+    // PRESS-side send machinery (digest + semaphore + send thread), then
+    // the kernel stack takes over inside TcpChannel::send.
+    net::Payload payload = net::makePayload<WireMsg>(std::move(w));
+    _cpu.submit(_cal.tcp.serverSend, CatIntraComm,
+                [channel, logical_bytes, payload]() {
+                    channel->send(logical_bytes, payload);
+                });
+}
+
+void
+TcpComm::handleArrival(const net::Payload &payload)
+{
+    // Kernel receive costs were charged by the stack; add the PRESS
+    // receive-thread path, then hand the message to the server.
+    _cpu.submit(_cal.tcp.serverRecv, CatIntraComm, [this, payload]() {
+        const auto *w = net::payloadAs<WireMsg>(payload);
+        PRESS_ASSERT(w, "foreign payload on PRESS channel");
+        deliver(toIncoming(*w, payload));
+    });
+}
+
+} // namespace press::core

@@ -1,0 +1,666 @@
+#include "via_comm.hpp"
+
+#include <algorithm>
+
+#include "osnode/node.hpp"
+#include "util/logging.hpp"
+
+namespace press::core {
+
+using osnode::CatIntraComm;
+using via::Address;
+using via::MemoryRegion;
+
+namespace {
+
+/** Bytes reserved per control-ring slot (message + sequence number). */
+constexpr std::uint64_t SlotBytes = 128;
+
+/** Extra pre-posted receive descriptors for ungated (flow) traffic. */
+constexpr int FlowReserve = 8;
+
+} // namespace
+
+/** Per-peer connection state. */
+struct ViaComm::Peer {
+    int id = -1;
+    via::VirtualInterface *vi = nullptr;
+
+    // ---- sender side: credits for the peer's receive resources ----
+    CreditGate regularGate;
+    CreditGate forwardGate;
+    CreditGate cachingGate;
+    CreditGate fileGate;
+    std::uint64_t forwardSeq = 0;
+    std::uint64_t cachingSeq = 0;
+    std::uint64_t fileSeq = 0;
+
+    // Remote bases (peer's address space) this node writes to.
+    Address rForwardRing = 0;
+    Address rCachingRing = 0;
+    Address rFileMetaRing = 0;
+    Address rFileDataRing = 0;
+    Address rFlowWords = 0;
+    Address rLoadWord = 0;
+
+    // ---- receiver side: local regions this peer writes into ----
+    MemoryRegion forwardRing;
+    MemoryRegion cachingRing;
+    MemoryRegion fileMetaRing;
+    MemoryRegion fileDataRing;
+    MemoryRegion flowWords;
+    MemoryRegion loadWord;
+    MemoryRegion recvBufs; ///< backing for pre-posted recv descriptors
+    MemoryRegion staging;  ///< send-side bounce buffers toward the peer
+
+    // Credit batching back to the peer for what we consumed.
+    std::unique_ptr<CreditReturner> regularReturn;
+    std::unique_ptr<CreditReturner> forwardReturn;
+    std::unique_ptr<CreditReturner> cachingReturn;
+    std::unique_ptr<CreditReturner> fileReturn;
+
+    Peer(int id_, int control_window, int file_window)
+        : id(id_),
+          regularGate(control_window),
+          forwardGate(control_window),
+          cachingGate(control_window),
+          fileGate(file_window)
+    {
+    }
+};
+
+ViaComm::ViaComm(sim::Simulator &sim, int node, const PressConfig &config,
+                 sim::FifoResource &cpu, net::Fabric &fabric)
+    : _sim(sim),
+      _node(node),
+      _config(config),
+      _cal(_config.calibration),
+      _cpu(cpu),
+      _nic(std::make_unique<via::ViaNic>(sim, fabric, node)),
+      _recvCq(std::make_unique<via::CompletionQueue>(sim)),
+      _sendCq(std::make_unique<via::CompletionQueue>(sim)),
+      _maxTransfer(config.largeFileCutoff)
+{
+    // A receive thread exists whenever some message type still travels
+    // as a regular two-sided send (Section 3.4: "this version does not
+    // require a receive thread" only from V3 on, with piggy-backing).
+    _recvThreadNeeded =
+        !usesRmw(MsgKind::File) ||
+        (_config.dissemination.kind == Dissemination::Kind::Broadcast &&
+         !_config.dissemination.useRmw);
+
+    int nodes = _config.nodes;
+    _peers.resize(nodes);
+    for (int j = 0; j < nodes; ++j) {
+        if (j == _node)
+            continue;
+        auto peer = std::make_unique<Peer>(j, _config.controlWindow,
+                                           _config.fileWindow);
+        Peer *p = peer.get();
+        int from = j;
+
+        // Receive-side regions, with write hooks feeding the poll paths.
+        p->forwardRing = _nic->registerMemory(
+            _config.controlWindow * SlotBytes,
+            [this, from](std::uint64_t, std::uint64_t,
+                         const via::Payload &pl, std::uint32_t) {
+                consumeRmwControl(from, pl);
+            });
+        p->cachingRing = _nic->registerMemory(
+            _config.controlWindow * SlotBytes,
+            [this, from](std::uint64_t, std::uint64_t,
+                         const via::Payload &pl, std::uint32_t) {
+                consumeRmwControl(from, pl);
+            });
+        p->fileMetaRing = _nic->registerMemory(
+            _config.fileWindow * SlotBytes,
+            [this, from](std::uint64_t, std::uint64_t,
+                         const via::Payload &pl, std::uint32_t) {
+                consumeRmwFile(from, pl);
+            });
+        // File data lands silently; the metadata write triggers
+        // consumption (it is posted after the data on the same VI, so
+        // VIA's in-order delivery guarantees the data is already there).
+        p->fileDataRing = _nic->registerMemory(
+            std::max<std::uint64_t>(_config.fileWindow * _maxTransfer, 1));
+        p->flowWords = _nic->registerMemory(
+            static_cast<int>(FlowChannel::NumChannels) * 8,
+            [this, from](std::uint64_t, std::uint64_t,
+                         const via::Payload &pl, std::uint32_t) {
+                const auto *w = net::payloadAs<WireMsg>(pl);
+                PRESS_ASSERT(w, "bad flow-word payload");
+                const auto *flow = std::get_if<FlowMsg>(&w->body);
+                PRESS_ASSERT(flow, "flow word without FlowMsg");
+                creditArrived(from, *flow);
+            });
+        p->loadWord = _nic->registerMemory(
+            8, [this, from](std::uint64_t, std::uint64_t,
+                            const via::Payload &pl, std::uint32_t) {
+                // The main thread notices the overwritten word on its
+                // next poll; only the probe costs CPU.
+                _cpu.submit(_cal.via.pollProbe, CatIntraComm,
+                            [this, pl]() {
+                                const auto *w =
+                                    net::payloadAs<WireMsg>(pl);
+                                PRESS_ASSERT(w, "bad load-word payload");
+                                deliver(toIncoming(*w, pl));
+                            });
+            });
+        p->recvBufs = _nic->registerMemory(
+            (_config.controlWindow + FlowReserve) * (_maxTransfer + 64));
+        p->staging = _nic->registerMemory(
+            std::max<std::uint64_t>(
+                (_config.controlWindow + _config.fileWindow) *
+                    _maxTransfer,
+                1));
+
+        // Credit returners toward this peer.
+        p->regularReturn = std::make_unique<CreditReturner>(
+            _config.controlCreditBatch, [this, from](int n) {
+                returnCredits(from, n, FlowChannel::Regular);
+            });
+        p->forwardReturn = std::make_unique<CreditReturner>(
+            _config.controlCreditBatch, [this, from](int n) {
+                returnCredits(from, n, FlowChannel::Forward);
+            });
+        p->cachingReturn = std::make_unique<CreditReturner>(
+            _config.controlCreditBatch, [this, from](int n) {
+                returnCredits(from, n, FlowChannel::Caching);
+            });
+        // RMW file-ring slots are acknowledged one by one (the slot
+        // word is the acknowledgement), matching Table 4's near-1:1
+        // Flow:File ratio in V3-V5; the regular path batches.
+        int file_batch = usesRmw(MsgKind::File)
+                             ? 1
+                             : _config.fileCreditBatch;
+        p->fileReturn = std::make_unique<CreditReturner>(
+            file_batch, [this, from](int n) {
+                returnCredits(from, n, FlowChannel::File);
+            });
+
+        _peers[j] = std::move(peer);
+    }
+}
+
+ViaComm::~ViaComm() = default;
+
+void
+ViaComm::linkMesh(std::vector<std::unique_ptr<ViaComm>> &comms)
+{
+    int n = static_cast<int>(comms.size());
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+            ViaComm &a = *comms[i];
+            ViaComm &b = *comms[j];
+            via::VirtualInterface *va = a._nic->createVi(
+                via::Reliability::ReliableDelivery, a._sendCq.get(),
+                a._recvCq.get());
+            via::VirtualInterface *vb = b._nic->createVi(
+                via::Reliability::ReliableDelivery, b._sendCq.get(),
+                b._recvCq.get());
+            via::ViaNic::connect(*va, *vb);
+            a._peers[j]->vi = va;
+            b._peers[i]->vi = vb;
+
+            // Exchange ring addresses (connection-setup time, free).
+            auto wire = [](Peer &mine, const Peer &theirs) {
+                mine.rForwardRing = theirs.forwardRing.base;
+                mine.rCachingRing = theirs.cachingRing.base;
+                mine.rFileMetaRing = theirs.fileMetaRing.base;
+                mine.rFileDataRing = theirs.fileDataRing.base;
+                mine.rFlowWords = theirs.flowWords.base;
+                mine.rLoadWord = theirs.loadWord.base;
+            };
+            wire(*a._peers[j], *b._peers[i]);
+            wire(*b._peers[i], *a._peers[j]);
+
+            // Pre-post receive descriptors for regular traffic.
+            int prepost = 0;
+            if (comms[i]->_recvThreadNeeded)
+                prepost = comms[i]->_config.controlWindow + FlowReserve;
+            for (int k = 0; k < prepost; ++k) {
+                va->postRecv(via::makeRecv(a._peers[j]->recvBufs.base,
+                                           a._maxTransfer + 64));
+                vb->postRecv(via::makeRecv(b._peers[i]->recvBufs.base,
+                                           b._maxTransfer + 64));
+            }
+        }
+    }
+    for (auto &c : comms)
+        if (c->_recvThreadNeeded)
+            c->armRecvThread();
+}
+
+bool
+ViaComm::usesRmw(MsgKind kind) const
+{
+    int v = static_cast<int>(_config.version);
+    switch (kind) {
+      case MsgKind::Flow:
+        return v >= 1;
+      case MsgKind::Forward:
+      case MsgKind::Caching:
+        return v >= 2;
+      case MsgKind::File:
+        return v >= 3;
+      case MsgKind::Load:
+        return _config.dissemination.useRmw;
+      default:
+        return false;
+    }
+}
+
+sim::Tick
+ViaComm::copyCost(std::uint64_t bytes) const
+{
+    return sim::transferTimeNs(bytes, _cal.via.copyBandwidth);
+}
+
+sim::Tick
+ViaComm::cacheInsertCost(std::uint64_t bytes) const
+{
+    if (_config.version != Version::V5)
+        return 0;
+    return _nic->registrationCost(bytes);
+}
+
+sim::Tick
+ViaComm::cacheEvictCost(std::uint64_t bytes) const
+{
+    if (_config.version != Version::V5)
+        return 0;
+    return _nic->registrationCost(bytes) / 2;
+}
+
+sim::Tick
+ViaComm::pollSweepCost() const
+{
+    if (static_cast<int>(_config.version) < 2)
+        return 0;
+    return _cal.via.pollProbe * (_config.nodes - 1);
+}
+
+// ---------------------------------------------------------------------
+// Send paths
+// ---------------------------------------------------------------------
+
+void
+ViaComm::sendLoad(int dst, const LoadMsg &msg)
+{
+    WireMsg w;
+    w.kind = MsgKind::Load;
+    w.from = _node;
+    w.piggyLoad = piggyLoad();
+    w.body = msg;
+    std::uint64_t bytes = _cal.sizes.load;
+    if (usesRmw(MsgKind::Load))
+        sendRmwWord(dst, MsgKind::Load, bytes, std::move(w));
+    else
+        sendRegular(dst, MsgKind::Load, bytes, std::move(w),
+                    /*gated=*/true);
+}
+
+void
+ViaComm::sendForward(int dst, const ForwardMsg &msg)
+{
+    WireMsg w;
+    w.kind = MsgKind::Forward;
+    w.from = _node;
+    w.piggyLoad = piggyLoad();
+    w.body = msg;
+    if (usesRmw(MsgKind::Forward))
+        sendRmwControl(dst, MsgKind::Forward, _cal.sizes.forward,
+                       std::move(w));
+    else
+        sendRegular(dst, MsgKind::Forward, _cal.sizes.forward,
+                    std::move(w), /*gated=*/true);
+}
+
+void
+ViaComm::sendCaching(int dst, const CachingMsg &msg)
+{
+    WireMsg w;
+    w.kind = MsgKind::Caching;
+    w.from = _node;
+    w.piggyLoad = piggyLoad();
+    w.body = msg;
+    if (usesRmw(MsgKind::Caching))
+        sendRmwControl(dst, MsgKind::Caching, _cal.sizes.caching,
+                       std::move(w));
+    else
+        sendRegular(dst, MsgKind::Caching, _cal.sizes.caching,
+                    std::move(w), /*gated=*/true);
+}
+
+void
+ViaComm::sendFile(int dst, const FileMsg &msg)
+{
+    WireMsg w;
+    w.kind = MsgKind::File;
+    w.from = _node;
+    w.piggyLoad = piggyLoad();
+    w.body = msg;
+    if (usesRmw(MsgKind::File)) {
+        sendRmwFile(dst, msg.bytes, std::move(w));
+    } else {
+        sendRegular(dst, MsgKind::File,
+                    _cal.sizes.fileHeader + msg.bytes, std::move(w),
+                    /*gated=*/true);
+    }
+}
+
+void
+ViaComm::sendRegular(int dst, MsgKind kind, std::uint64_t logical_bytes,
+                     WireMsg w, bool gated)
+{
+    Peer &peer = *_peers.at(dst);
+    if (w.piggyLoad >= 0)
+        logical_bytes += 4;
+    recordSend(kind, logical_bytes);
+
+    sim::Tick cpu_cost = _cal.via.regularSend + copyCost(logical_bytes);
+    auto thunk = [this, &peer, logical_bytes, cpu_cost,
+                  payload = net::makePayload<WireMsg>(std::move(w))]() {
+        _cpu.submit(cpu_cost, CatIntraComm,
+                    [this, &peer, logical_bytes, payload]() {
+                        drainSendCq();
+                        bool ok = peer.vi->postSend(via::makeSend(
+                            peer.staging.base, logical_bytes, payload));
+                        PRESS_ASSERT(ok, "send queue overflow despite "
+                                         "flow control");
+                    });
+    };
+    if (gated)
+        peer.regularGate.acquire(std::move(thunk));
+    else
+        thunk();
+}
+
+void
+ViaComm::sendRmwControl(int dst, MsgKind kind,
+                        std::uint64_t logical_bytes, WireMsg w)
+{
+    Peer &peer = *_peers.at(dst);
+    if (w.piggyLoad >= 0)
+        logical_bytes += 4;
+    recordSend(kind, logical_bytes);
+
+    CreditGate &gate =
+        kind == MsgKind::Forward ? peer.forwardGate : peer.cachingGate;
+    std::uint64_t &seq =
+        kind == MsgKind::Forward ? peer.forwardSeq : peer.cachingSeq;
+    Address ring = kind == MsgKind::Forward ? peer.rForwardRing
+                                            : peer.rCachingRing;
+    Address slot = ring + (seq++ % _config.controlWindow) * SlotBytes;
+
+    gate.acquire([this, &peer, slot, logical_bytes,
+                  payload = net::makePayload<WireMsg>(std::move(w))]() {
+        _cpu.submit(_cal.via.rmwSend + copyCost(logical_bytes),
+                    CatIntraComm, [this, &peer, slot, logical_bytes,
+                                   payload]() {
+                        drainSendCq();
+                        bool ok = peer.vi->postSend(via::makeRdmaWrite(
+                            peer.staging.base, logical_bytes, slot,
+                            payload));
+                        PRESS_ASSERT(ok, "ring write overflow despite "
+                                         "flow control");
+                    });
+    });
+}
+
+void
+ViaComm::sendRmwWord(int dst, MsgKind kind, std::uint64_t logical_bytes,
+                     WireMsg w)
+{
+    Peer &peer = *_peers.at(dst);
+    recordSend(kind, logical_bytes);
+
+    Address target;
+    if (kind == MsgKind::Load) {
+        target = peer.rLoadWord;
+    } else {
+        const auto *flow = std::get_if<FlowMsg>(&w.body);
+        PRESS_ASSERT(flow, "sendRmwWord without FlowMsg body");
+        target = peer.rFlowWords +
+                 static_cast<int>(flow->channel) * 8;
+    }
+
+    // Overwritable word: no flow control, tiny post cost.
+    _cpu.submit(_cal.via.rmwSendWord, CatIntraComm,
+                [this, &peer, target,
+                 payload = net::makePayload<WireMsg>(std::move(w))]() {
+                    drainSendCq();
+                    bool ok = peer.vi->postSend(via::makeRdmaWrite(
+                        peer.staging.base, 4, target, payload));
+                    PRESS_ASSERT(ok, "word write overflow");
+                });
+}
+
+void
+ViaComm::sendRmwFile(int dst, std::uint64_t file_bytes, WireMsg w)
+{
+    Peer &peer = *_peers.at(dst);
+    bool zero_copy_tx = _config.version == Version::V5;
+
+    std::uint64_t meta_bytes = _cal.sizes.fileMeta;
+    if (w.piggyLoad >= 0)
+        meta_bytes += 4;
+    // Two messages per file (data + metadata): both counted as File
+    // traffic, which is what doubles the message count in Table 4.
+    recordSend(MsgKind::File, file_bytes);
+    recordSend(MsgKind::File, meta_bytes);
+
+    std::uint64_t slot = peer.fileSeq++ % _config.fileWindow;
+    Address data_addr = peer.rFileDataRing + slot * _maxTransfer;
+    Address meta_addr = peer.rFileMetaRing + slot * SlotBytes;
+
+    sim::Tick cpu_cost = 2 * _cal.via.rmwSend +
+                         (zero_copy_tx ? 0 : copyCost(file_bytes));
+
+    peer.fileGate.acquire([this, &peer, data_addr, meta_addr, file_bytes,
+                           meta_bytes, cpu_cost,
+                           payload =
+                               net::makePayload<WireMsg>(std::move(w))]() {
+        _cpu.submit(cpu_cost, CatIntraComm,
+                    [this, &peer, data_addr, meta_addr, file_bytes,
+                     meta_bytes, payload]() {
+                        drainSendCq();
+                        // Data first, then metadata; same VI, so VIA's
+                        // in-order delivery publishes them in order.
+                        bool ok1 = peer.vi->postSend(via::makeRdmaWrite(
+                            peer.staging.base, file_bytes, data_addr));
+                        bool ok2 = peer.vi->postSend(via::makeRdmaWrite(
+                            peer.staging.base, meta_bytes, meta_addr,
+                            payload));
+                        PRESS_ASSERT(ok1 && ok2,
+                                     "file write overflow despite "
+                                     "flow control");
+                    });
+    });
+}
+
+// ---------------------------------------------------------------------
+// Receive paths
+// ---------------------------------------------------------------------
+
+void
+ViaComm::armRecvThread()
+{
+    _recvCq->notify([this]() {
+        // The blocked receive thread is woken: one context switch.
+        _cpu.submit(_nic->costs().cqWakeup, CatIntraComm,
+                    [this]() { drainRecvCq(); });
+    });
+}
+
+void
+ViaComm::drainRecvCq()
+{
+    bool any = false;
+    while (auto c = _recvCq->poll()) {
+        any = true;
+        processRegular(std::move(c->desc), c->vi);
+    }
+    if (!any) {
+        armRecvThread();
+        return;
+    }
+    // Stay "awake": once the queued CPU work retires, look again without
+    // paying another wake-up.
+    _cpu.submit(0, CatIntraComm, [this]() { drainRecvCq(); });
+}
+
+void
+ViaComm::processRegular(via::DescriptorPtr desc,
+                        via::VirtualInterface *vi)
+{
+    PRESS_ASSERT(desc->status == via::Status::Complete,
+                 "regular receive failed: flow control must prevent "
+                 "overruns (status ",
+                 static_cast<int>(desc->status), ")");
+
+    // Identify the sender by the VI the message came in on.
+    int from = -1;
+    for (int j = 0; j < _config.nodes; ++j) {
+        if (_peers[j] && _peers[j]->vi == vi) {
+            from = j;
+            break;
+        }
+    }
+    PRESS_ASSERT(from >= 0, "completion from unknown VI");
+    Peer &peer = *_peers[from];
+
+    net::Payload payload = desc->payload;
+    const auto *w = net::payloadAs<WireMsg>(payload);
+    PRESS_ASSERT(w, "foreign payload on PRESS VI");
+    MsgKind kind = w->kind;
+    std::uint64_t bytes = desc->bytesDone;
+
+    // Replenish the descriptor immediately (NIC-side, free) so ungated
+    // flow traffic never overruns.
+    desc->status = via::Status::Pending;
+    desc->payload.reset();
+    vi->postRecv(std::move(desc));
+
+    // Receive-thread CPU work: wake-path share + digest copy, plus the
+    // unavoidable big copy when the payload is a file (V0-V2).
+    sim::Tick cost = _cal.via.regularRecv + _nic->costs().recvPost;
+    if (kind == MsgKind::File)
+        cost += copyCost(bytes);
+    else
+        cost += copyCost(std::min<std::uint64_t>(bytes, SlotBytes));
+
+    _cpu.submit(cost, CatIntraComm, [this, &peer, kind, payload]() {
+        const auto *wm = net::payloadAs<WireMsg>(payload);
+        if (kind == MsgKind::Flow) {
+            const auto *flow = std::get_if<FlowMsg>(&wm->body);
+            PRESS_ASSERT(flow, "Flow message without FlowMsg body");
+            creditArrived(peer.id, *flow);
+        }
+        deliver(toIncoming(*wm, payload));
+        // Gated kinds consumed a descriptor credit; batch it back.
+        if (kind != MsgKind::Flow)
+            peer.regularReturn->consumed();
+    });
+}
+
+void
+ViaComm::consumeRmwControl(int from, const net::Payload &payload)
+{
+    Peer &peer = *_peers.at(from);
+    // Poll hit at the end of the main loop; consume + return the slot.
+    _cpu.submit(_cal.via.rmwRecvControl, CatIntraComm,
+                [this, &peer, payload]() {
+                    const auto *w = net::payloadAs<WireMsg>(payload);
+                    PRESS_ASSERT(w, "bad ring payload");
+                    deliver(toIncoming(*w, payload));
+                    if (w->kind == MsgKind::Forward)
+                        peer.forwardReturn->consumed();
+                    else
+                        peer.cachingReturn->consumed();
+                });
+}
+
+void
+ViaComm::consumeRmwFile(int from, const net::Payload &payload)
+{
+    Peer &peer = *_peers.at(from);
+    const auto *w = net::payloadAs<WireMsg>(payload);
+    PRESS_ASSERT(w, "bad file-meta payload");
+    const auto *file = std::get_if<FileMsg>(&w->body);
+    PRESS_ASSERT(file, "file metadata without FileMsg body");
+
+    bool zero_copy_rx = static_cast<int>(_config.version) >= 4;
+    sim::Tick cost = _cal.via.rmwRecvFile +
+                     (zero_copy_rx ? 0 : copyCost(file->bytes));
+
+    _cpu.submit(cost, CatIntraComm,
+                [this, &peer, payload, zero_copy_rx]() {
+                    const auto *wm = net::payloadAs<WireMsg>(payload);
+                    deliver(toIncoming(*wm, payload));
+                    if (!zero_copy_rx) {
+                        // V3: the copy freed the ring slot already.
+                        peer.fileReturn->consumed();
+                    }
+                    // V4/V5: the slot stays busy until fileBufferDone().
+                });
+}
+
+void
+ViaComm::fileBufferDone(int from)
+{
+    if (static_cast<int>(_config.version) < 4)
+        return; // slot was released when the receive copy finished
+    _peers.at(from)->fileReturn->consumed();
+}
+
+void
+ViaComm::returnCredits(int dst, int n, FlowChannel channel)
+{
+    WireMsg w;
+    w.kind = MsgKind::Flow;
+    w.from = _node;
+    w.body = FlowMsg{n, channel};
+    if (usesRmw(MsgKind::Flow)) {
+        w.piggyLoad = -1; // a bare word carries no piggy-back
+        sendRmwWord(dst, MsgKind::Flow, _cal.sizes.flowRmw, std::move(w));
+    } else {
+        w.piggyLoad = piggyLoad();
+        sendRegular(dst, MsgKind::Flow, _cal.sizes.flowRegular,
+                    std::move(w), /*gated=*/false);
+    }
+}
+
+void
+ViaComm::creditArrived(int from, const FlowMsg &flow)
+{
+    Peer &peer = *_peers.at(from);
+    switch (flow.channel) {
+      case FlowChannel::Regular:
+        peer.regularGate.release(flow.credits);
+        break;
+      case FlowChannel::Forward:
+        peer.forwardGate.release(flow.credits);
+        break;
+      case FlowChannel::Caching:
+        peer.cachingGate.release(flow.credits);
+        break;
+      case FlowChannel::File:
+        peer.fileGate.release(flow.credits);
+        break;
+      default:
+        util::panic("bad flow channel");
+    }
+}
+
+void
+ViaComm::drainSendCq()
+{
+    while (auto c = _sendCq->poll()) {
+        PRESS_ASSERT(c->desc->status == via::Status::Complete,
+                     "intra-cluster send failed with status ",
+                     static_cast<int>(c->desc->status));
+    }
+}
+
+} // namespace press::core

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * In-flight representation of PRESS messages (internal to the comm
+ * backends).
+ */
+
+#ifndef PRESS_CORE_WIRE_HPP
+#define PRESS_CORE_WIRE_HPP
+
+#include <variant>
+
+#include "core/messages.hpp"
+#include "net/payload.hpp"
+
+namespace press::core {
+
+/** What actually travels between nodes in the simulation. */
+struct WireMsg {
+    MsgKind kind = MsgKind::NumKinds;
+    int from = -1;
+    int piggyLoad = -1;
+    std::variant<LoadMsg, FlowMsg, ForwardMsg, CachingMsg, FileMsg> body;
+};
+
+/** Build the Incoming view the server sees. @p wire_payload must hold
+ *  the WireMsg @p w describes. */
+inline Incoming
+toIncoming(const WireMsg &w, net::Payload wire_payload)
+{
+    Incoming in;
+    in.kind = w.kind;
+    in.from = w.from;
+    in.piggyLoad = w.piggyLoad;
+    in.body = std::move(wire_payload);
+    return in;
+}
+
+/** Typed view of an Incoming's body; nullptr on kind mismatch. */
+template <typename T>
+const T *
+bodyAs(const Incoming &in)
+{
+    const auto *w = net::payloadAs<WireMsg>(in.body);
+    return w ? std::get_if<T>(&w->body) : nullptr;
+}
+
+} // namespace press::core
+
+#endif // PRESS_CORE_WIRE_HPP

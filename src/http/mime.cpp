@@ -1,0 +1,50 @@
+#include "mime.hpp"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+namespace press::http {
+
+namespace {
+
+struct Entry {
+    std::string_view ext;
+    std::string_view type;
+};
+
+constexpr std::array<Entry, 14> Table{{
+    {"html", "text/html"},
+    {"htm", "text/html"},
+    {"txt", "text/plain"},
+    {"css", "text/css"},
+    {"gif", "image/gif"},
+    {"jpg", "image/jpeg"},
+    {"jpeg", "image/jpeg"},
+    {"png", "image/png"},
+    {"xbm", "image/x-xbitmap"},
+    {"ps", "application/postscript"},
+    {"pdf", "application/pdf"},
+    {"zip", "application/zip"},
+    {"gz", "application/gzip"},
+    {"mpg", "video/mpeg"},
+}};
+
+} // namespace
+
+std::string_view
+mimeType(std::string_view path)
+{
+    auto dot = path.rfind('.');
+    if (dot == std::string_view::npos)
+        return "application/octet-stream";
+    std::string ext(path.substr(dot + 1));
+    for (auto &c : ext)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    for (const auto &e : Table)
+        if (e.ext == ext)
+            return e.type;
+    return "application/octet-stream";
+}
+
+} // namespace press::http

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * MIME type resolution from file extensions (the handful a late-90s
+ * static web workload contains).
+ */
+
+#ifndef PRESS_HTTP_MIME_HPP
+#define PRESS_HTTP_MIME_HPP
+
+#include <string_view>
+
+namespace press::http {
+
+/** Content type for @p path based on its extension;
+ *  "application/octet-stream" when unknown. */
+std::string_view mimeType(std::string_view path);
+
+} // namespace press::http
+
+#endif // PRESS_HTTP_MIME_HPP

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Parameters of the analytical model — Table 5 of the paper.
+ *
+ * All rates are expressed as *costs* (seconds per operation); the
+ * published mu parameters are their reciprocals. Sizes S are average
+ * file sizes in bytes (the paper writes the formulas with S in KB and
+ * rates in KB/s; values here are converted to SI).
+ */
+
+#ifndef PRESS_MODEL_PARAMS_HPP
+#define PRESS_MODEL_PARAMS_HPP
+
+#include <string>
+
+namespace press::model {
+
+/** Intra-cluster communication cost set (protocol/version dependent). */
+struct CommCosts {
+    std::string name;
+
+    double fwdCost = 0;      ///< 1/mu_f: CPU cost to forward a request
+    double sendFixed = 0;    ///< fixed part of 1/mu_s (intra-cluster send)
+    double sendPerByte = 0;  ///< per-byte part of 1/mu_s
+    double recvFixed = 0;    ///< fixed part of 1/mu_g (intra-cluster recv)
+    double recvPerByte = 0;  ///< per-byte part of 1/mu_g
+    bool fileTwoMessages = false; ///< RMW file transfer = data + metadata
+    double fileMetaBytes = 61;    ///< size of the metadata companion
+
+    /** VIA with regular 1-copy messages (Table 5 "VIA" rows). */
+    static CommCosts viaRegular();
+
+    /** VIA exploiting remote memory writes and zero-copy (the modified
+     *  model of Section 4.2, "RMW and 0-copy"). */
+    static CommCosts viaRmwZeroCopy();
+
+    /** The complete TCP stack (Table 5 "TCP/cLAN" rows). */
+    static CommCosts tcp();
+
+    /** Next-generation zero-copy TCP (Section 4.2 "future systems"):
+     *  the fixed costs of the TCP mu_f/mu_s/mu_g halved. */
+    static CommCosts tcpFuture();
+};
+
+/** The full parameter set (Table 5). */
+struct ModelParams {
+    // Locality parameters.
+    double replication = 0.15;     ///< R
+    double zipfAlpha = 0.8;        ///< alpha
+    double cacheBytes = 128e6;     ///< C, per node
+    double avgFileBytes = 16e3;    ///< S
+
+    // Network interfaces: cost = overhead + size/bandwidth.
+    double niIntOverhead = 3e-6;   ///< internal NIC, per message
+    double niIntBandwidth = 125e6; ///< internal NIC, bytes/s (1 Gb/s)
+    double niExtOverhead = 4e-6;   ///< external NIC, per message
+    double niExtBandwidth = 12.5e6;///< external NIC, bytes/s (100 Mb/s)
+
+    // CPU and disk.
+    double parseCost = 1.0 / 5882.0;       ///< 1/mu_p
+    double replyFixed = 270e-6;            ///< fixed part of 1/mu_m
+    double replyBandwidth = 12.5e6;        ///< per-byte part of 1/mu_m
+    double diskFixed = 18.8e-3;            ///< fixed part of 1/mu_d
+    double diskBandwidth = 3e6;            ///< per-byte part of 1/mu_d
+
+    // Message sizes on the wire.
+    double requestBytes = 300;    ///< client HTTP GET
+    double forwardBytes = 53;     ///< intra-cluster forward message
+
+    CommCosts comm = CommCosts::viaRegular();
+
+    /**
+     * "Future systems" client-path change (Section 4.2): zero-copy
+     * client TCP halves mu_m. Applies to both compared systems.
+     */
+    bool futureClientPath = false;
+
+    /** Convenience preset builders. @{ */
+    static ModelParams via();
+    static ModelParams viaRmwZc();
+    static ModelParams tcp();
+    static ModelParams tcpFuture();
+    static ModelParams viaRmwZcFuture();
+    /** @} */
+};
+
+} // namespace press::model
+
+#endif // PRESS_MODEL_PARAMS_HPP

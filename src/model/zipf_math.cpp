@@ -1,0 +1,109 @@
+#include "zipf_math.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace press::model {
+
+namespace {
+
+/** Exact prefix sums of i^-alpha are cached for one alpha at a time
+ *  (the model uses a single alpha per run). */
+struct HarmonicCache {
+    double alpha = -1;
+    std::vector<double> prefix; ///< prefix[i] = H(i+1)
+
+    static constexpr std::size_t ExactLimit = 200000;
+
+    void
+    build(double a)
+    {
+        alpha = a;
+        prefix.resize(ExactLimit);
+        double sum = 0;
+        for (std::size_t i = 0; i < ExactLimit; ++i) {
+            sum += std::pow(static_cast<double>(i + 1), -a);
+            prefix[i] = sum;
+        }
+    }
+};
+
+thread_local HarmonicCache gCache;
+
+} // namespace
+
+double
+harmonic(double x, double alpha)
+{
+    PRESS_ASSERT(alpha >= 0 && alpha < 1.0,
+                 "model supports 0 <= alpha < 1, got ", alpha);
+    if (x <= 0)
+        return 0;
+    if (gCache.alpha != alpha)
+        gCache.build(alpha);
+
+    auto exact = [&](std::size_t n) {
+        return n == 0 ? 0.0 : gCache.prefix[n - 1];
+    };
+
+    if (x < static_cast<double>(HarmonicCache::ExactLimit)) {
+        // Linear interpolation between integer points: the fractional
+        // part of the x'th term.
+        auto n = static_cast<std::size_t>(std::floor(x));
+        double frac = x - static_cast<double>(n);
+        double next = std::pow(static_cast<double>(n + 1), -alpha);
+        return exact(n) + frac * next;
+    }
+
+    // Euler-Maclaurin continuation from the exact boundary:
+    // H(x) ~ H(L) + integral_L^x t^-alpha dt + (x^-a - L^-a)/2.
+    constexpr double L = HarmonicCache::ExactLimit;
+    double integral =
+        (std::pow(x, 1 - alpha) - std::pow(L, 1 - alpha)) / (1 - alpha);
+    double correction =
+        0.5 * (std::pow(x, -alpha) - std::pow(L, -alpha));
+    return exact(HarmonicCache::ExactLimit) + integral + correction;
+}
+
+double
+zipfAccum(double n, double files, double alpha)
+{
+    PRESS_ASSERT(files > 0, "empty population");
+    if (n <= 0)
+        return 0;
+    if (n >= files)
+        return 1.0;
+    return harmonic(n, alpha) / harmonic(files, alpha);
+}
+
+double
+solvePopulation(double hit_rate, double cached_files, double alpha)
+{
+    PRESS_ASSERT(hit_rate > 0 && hit_rate <= 1.0,
+                 "hit rate must be in (0,1], got ", hit_rate);
+    PRESS_ASSERT(cached_files > 0, "no cache");
+    if (hit_rate >= 1.0)
+        return cached_files;
+
+    // z(c, F) decreases monotonically in F; bisect.
+    double lo = cached_files, hi = cached_files * 2;
+    while (zipfAccum(cached_files, hi, alpha) > hit_rate) {
+        hi *= 2;
+        if (hi > 1e15)
+            break; // hit rate essentially unreachable; return the cap
+    }
+    for (int iter = 0; iter < 200; ++iter) {
+        double mid = 0.5 * (lo + hi);
+        if (zipfAccum(cached_files, mid, alpha) > hit_rate)
+            lo = mid;
+        else
+            hi = mid;
+        if ((hi - lo) / hi < 1e-12)
+            break;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace press::model

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Zipf-distribution mathematics for the analytical model.
+ *
+ * The paper models WWW file popularity as Zipf-like (Breslau et al.):
+ * P(rank i) proportional to 1/i^alpha with alpha < 1. The model needs
+ * z(n, F) — the accumulated probability of the n most popular files out
+ * of F — for *real-valued* n and F (cache capacities divided by average
+ * file sizes are not integers), and the inverse problem of finding the
+ * population F that yields a target single-node hit rate.
+ */
+
+#ifndef PRESS_MODEL_ZIPF_MATH_HPP
+#define PRESS_MODEL_ZIPF_MATH_HPP
+
+namespace press::model {
+
+/**
+ * Generalized harmonic number H(x, alpha) = sum_{i=1..x} i^-alpha,
+ * extended to real x >= 0 (exact summation for small x, Euler-Maclaurin
+ * beyond; relative error < 1e-6 over the model's range).
+ */
+double harmonic(double x, double alpha);
+
+/**
+ * z(n, F): accumulated request probability of the n most popular files
+ * in a Zipf-like distribution over F files. Clamps n to [0, F].
+ */
+double zipfAccum(double n, double files, double alpha);
+
+/**
+ * Solve for the population F such that z(cached, F) == hit_rate, i.e.
+ * "f is such that Hsn = z(C/S, f)" (Section 4.1). @p hit_rate must be
+ * in (0, 1]; returns cached when hit_rate == 1.
+ */
+double solvePopulation(double hit_rate, double cached_files,
+                       double alpha);
+
+} // namespace press::model
+
+#endif // PRESS_MODEL_ZIPF_MATH_HPP

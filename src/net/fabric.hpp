@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Switched network fabric model.
+ *
+ * The paper's cluster uses two switched networks: Fast Ethernet and the
+ * Giganet cLAN. Both are full-duplex and switched, so the dominant queueing
+ * points are the per-port NIC transmit and receive engines; the switch core
+ * itself is non-blocking. We model each port as a pair of FifoResources
+ * (TX and RX) whose per-message service time is a fixed NIC overhead plus
+ * serialization at the port bandwidth, connected by a constant wire/switch
+ * latency.
+ *
+ * The port bandwidth is the *effective* NIC data rate, not the raw signal
+ * rate: the Giganet cLAN signals at 2.5 Gbit/s but its DMA engines peak at
+ * ~105 MB/s, matching the 102 MB/s the paper measures for 32 KB messages.
+ */
+
+#ifndef PRESS_NET_FABRIC_HPP
+#define PRESS_NET_FABRIC_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace press::net {
+
+/** Index of a node/port on a fabric. */
+using NodeId = int;
+
+/** Callback invoked when a transfer fully arrives at the destination. */
+using DeliverFn = sim::EventFn;
+
+/** Static description of a fabric. */
+struct FabricConfig {
+    std::string name;          ///< diagnostic name
+    double bandwidth = 0;      ///< effective port bandwidth, bytes/second
+    sim::Tick txOverhead = 0;  ///< per-message TX NIC occupancy, ns
+    sim::Tick rxOverhead = 0;  ///< per-message RX NIC occupancy, ns
+    sim::Tick wireLatency = 0; ///< propagation + switch latency, ns
+
+    /**
+     * Switched Fast Ethernet. 100 Mbit/s links; ~11.75 MB/s effective
+     * after framing (the paper observes 11.5 MB/s end-to-end for 32 KB
+     * TCP messages, which includes protocol headers).
+     */
+    static FabricConfig fastEthernet();
+
+    /**
+     * Giganet cLAN. 2.5 Gbit/s links, NIC DMA-limited to ~105 MB/s
+     * (paper: 102 MB/s observed for 32 KB VIA messages).
+     */
+    static FabricConfig clan();
+};
+
+/** Per-port traffic statistics. */
+struct PortStats {
+    std::uint64_t messagesSent = 0;
+    std::uint64_t bytesSent = 0;
+    std::uint64_t messagesReceived = 0;
+    std::uint64_t bytesReceived = 0;
+};
+
+/**
+ * A switched fabric connecting @p ports full-duplex ports.
+ *
+ * send() models the full NIC-to-NIC path; the caller layers protocol CPU
+ * costs (TCP stack, VIA doorbells/completions) on top.
+ */
+class Fabric
+{
+  public:
+    Fabric(sim::Simulator &sim, FabricConfig config, int ports);
+
+    /**
+     * Transfer @p bytes from @p src to @p dst and invoke @p on_delivered
+     * when the last byte has been received. @p on_tx_done (optional) fires
+     * when the source port finishes serializing the message — the moment a
+     * NIC reports local completion for unreliable traffic.
+     *
+     * Loopback (src == dst) is delivered after the TX overhead only, since
+     * real NICs short-circuit local traffic.
+     */
+    void send(NodeId src, NodeId dst, std::uint64_t bytes,
+              DeliverFn on_delivered, DeliverFn on_tx_done = {});
+
+    /** Serialization + overhead time a message of @p bytes occupies a
+     *  port engine for. */
+    sim::Tick txTime(std::uint64_t bytes) const;
+    sim::Tick rxTime(std::uint64_t bytes) const;
+
+    /**
+     * Unloaded end-to-end latency of a message of @p bytes (the number a
+     * ping-pong microbenchmark measures, minus host CPU costs).
+     */
+    sim::Tick unloadedLatency(std::uint64_t bytes) const;
+
+    int ports() const { return static_cast<int>(_tx.size()); }
+    const FabricConfig &config() const { return _config; }
+    const PortStats &stats(NodeId port) const;
+
+    /** TX engine utilization of @p port over the run so far. */
+    double txUtilization(NodeId port) const;
+    double rxUtilization(NodeId port) const;
+
+    /** Reset traffic statistics on every port. */
+    void resetStats();
+
+  private:
+    void checkPort(NodeId port) const;
+
+    sim::Simulator &_sim;
+    FabricConfig _config;
+    std::vector<std::unique_ptr<sim::FifoResource>> _tx;
+    std::vector<std::unique_ptr<sim::FifoResource>> _rx;
+    std::vector<PortStats> _stats;
+};
+
+} // namespace press::net
+
+#endif // PRESS_NET_FABRIC_HPP

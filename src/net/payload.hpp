@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Simulated message contents.
+ *
+ * Transfers carry an opaque shared handle instead of real bytes: the
+ * simulation preserves *what* arrives *where and when* without the host
+ * copying data. Protocol layers (TCP, VIA) and the server stash their
+ * message structures behind this handle.
+ */
+
+#ifndef PRESS_NET_PAYLOAD_HPP
+#define PRESS_NET_PAYLOAD_HPP
+
+#include <memory>
+
+namespace press::net {
+
+/** Opaque stand-in for message bytes. */
+using Payload = std::shared_ptr<const void>;
+
+/** Wrap a copy of @p value in a payload handle. */
+template <typename T>
+Payload
+makePayload(T value)
+{
+    return std::static_pointer_cast<const void>(
+        std::make_shared<T>(std::move(value)));
+}
+
+/** Recover a typed view of a payload created with makePayload<T>. */
+template <typename T>
+const T *
+payloadAs(const Payload &p)
+{
+    return static_cast<const T *>(p.get());
+}
+
+} // namespace press::net
+
+#endif // PRESS_NET_PAYLOAD_HPP

@@ -1,0 +1,37 @@
+#include "disk.hpp"
+
+#include "util/units.hpp"
+
+namespace press::osnode {
+
+using util::MB;
+using util::MS;
+
+DiskParams
+DiskParams::defaults()
+{
+    DiskParams p;
+    p.positioning = static_cast<sim::Tick>(18.8 * MS);
+    p.bandwidth = 3.0 * static_cast<double>(MB);
+    return p;
+}
+
+Disk::Disk(sim::Simulator &sim, std::string name, DiskParams params)
+    : _params(params), _queue(sim, std::move(name))
+{
+}
+
+sim::Tick
+Disk::readTime(std::uint64_t bytes) const
+{
+    return _params.positioning +
+           sim::transferTimeNs(bytes, _params.bandwidth);
+}
+
+void
+Disk::read(std::uint64_t bytes, sim::EventFn on_done)
+{
+    _queue.submit(readTime(bytes), 0, std::move(on_done));
+}
+
+} // namespace press::osnode

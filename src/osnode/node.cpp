@@ -1,0 +1,29 @@
+#include "node.hpp"
+
+namespace press::osnode {
+
+const char *
+cpuCategoryName(int category)
+{
+    switch (category) {
+      case CatService:
+        return "service";
+      case CatClientComm:
+        return "client-comm";
+      case CatIntraComm:
+        return "intra-comm";
+      case CatOther:
+        return "other";
+      default:
+        return "unknown";
+    }
+}
+
+Node::Node(sim::Simulator &sim, int id, DiskParams disk_params)
+    : _id(id),
+      _cpu(sim, "node" + std::to_string(id) + ".cpu"),
+      _disk(sim, "node" + std::to_string(id) + ".disk", disk_params)
+{
+}
+
+} // namespace press::osnode

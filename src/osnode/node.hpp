@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A cluster node: one CPU, one disk, ports on the internal and external
+ * networks.
+ *
+ * The CPU is a single FifoResource — the paper's machines are
+ * single-processor Pentium IIs and PRESS is event-driven, so all server
+ * work (main loop, helper threads, kernel networking) competes for one
+ * processor. Busy time is attributed by category so the Figure-1 breakdown
+ * can be reproduced.
+ */
+
+#ifndef PRESS_OSNODE_NODE_HPP
+#define PRESS_OSNODE_NODE_HPP
+
+#include <memory>
+#include <string>
+
+#include "osnode/disk.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace press::osnode {
+
+/**
+ * CPU-time accounting categories, matching the paper's Figure-1 split of
+ * intra-cluster communication vs. everything else, with finer grain kept
+ * for diagnostics.
+ */
+enum CpuCategory : int {
+    CatService = 0,   ///< parsing, cache handling, disk-thread work
+    CatClientComm,    ///< TCP to/from clients (external network)
+    CatIntraComm,     ///< intra-cluster communication, all costs
+    CatOther,         ///< event-loop bookkeeping
+    NumCpuCategories,
+};
+
+/** Human-readable category names, indexed by CpuCategory. */
+const char *cpuCategoryName(int category);
+
+/** One cluster node. */
+class Node
+{
+  public:
+    Node(sim::Simulator &sim, int id,
+         DiskParams disk_params = DiskParams::defaults());
+
+    Node(const Node &) = delete;
+    Node &operator=(const Node &) = delete;
+
+    int id() const { return _id; }
+    sim::FifoResource &cpu() { return _cpu; }
+    const sim::FifoResource &cpu() const { return _cpu; }
+    Disk &disk() { return _disk; }
+    const Disk &disk() const { return _disk; }
+
+  private:
+    int _id;
+    sim::FifoResource _cpu;
+    Disk _disk;
+};
+
+} // namespace press::osnode
+
+#endif // PRESS_OSNODE_NODE_HPP

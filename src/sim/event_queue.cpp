@@ -1,0 +1,32 @@
+#include "event_queue.hpp"
+
+#include "util/logging.hpp"
+
+namespace press::sim {
+
+void
+EventQueue::push(Tick when, EventFn fn)
+{
+    PRESS_ASSERT(fn, "null event callback");
+    _heap.push(Entry{when, _seq++, std::move(fn)});
+}
+
+Tick
+EventQueue::nextTime() const
+{
+    return _heap.empty() ? MaxTick : _heap.top().when;
+}
+
+std::pair<Tick, EventFn>
+EventQueue::pop()
+{
+    PRESS_ASSERT(!_heap.empty(), "pop from empty event queue");
+    // priority_queue::top() is const; the callback must be moved out, so we
+    // const_cast the entry. The entry is popped immediately afterwards.
+    auto &top = const_cast<Entry &>(_heap.top());
+    std::pair<Tick, EventFn> out{top.when, std::move(top.fn)};
+    _heap.pop();
+    return out;
+}
+
+} // namespace press::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The pending-event set of the discrete-event kernel.
+ */
+
+#ifndef PRESS_SIM_EVENT_QUEUE_HPP
+#define PRESS_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace press::sim {
+
+/** Callback executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * A time-ordered queue of events. Events scheduled for the same tick fire
+ * in insertion order (FIFO), which keeps runs deterministic.
+ */
+class EventQueue
+{
+  public:
+    /** Insert an event at absolute time @p when. */
+    void push(Tick when, EventFn fn);
+
+    /** True when no events are pending. */
+    bool empty() const { return _heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return _heap.size(); }
+
+    /** Time of the earliest pending event; MaxTick when empty. */
+    Tick nextTime() const;
+
+    /** Remove and return the earliest event's callback and time. */
+    std::pair<Tick, EventFn> pop();
+
+    /** Total events ever inserted (for statistics). */
+    std::uint64_t inserted() const { return _seq; }
+
+  private:
+    struct Entry {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    std::uint64_t _seq = 0;
+};
+
+} // namespace press::sim
+
+#endif // PRESS_SIM_EVENT_QUEUE_HPP

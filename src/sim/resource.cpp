@@ -1,0 +1,91 @@
+#include "resource.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace press::sim {
+
+FifoResource::FifoResource(Simulator &sim, std::string name)
+    : _sim(sim), _name(std::move(name))
+{
+}
+
+void
+FifoResource::setSpeed(double speed)
+{
+    PRESS_ASSERT(speed > 0, _name, ": speed must be positive");
+    _speed = speed;
+}
+
+void
+FifoResource::submit(Tick service, int category, EventFn on_done)
+{
+    PRESS_ASSERT(service >= 0, _name, ": negative service time");
+    PRESS_ASSERT(category >= 0, _name, ": negative category");
+    if (_speed != 1.0)
+        service = static_cast<Tick>(static_cast<double>(service) /
+                                    _speed);
+    Job job{service, category, std::move(on_done)};
+    if (_busy) {
+        _queue.push_back(std::move(job));
+        _maxDepth = std::max(_maxDepth, _queue.size() + 1);
+    } else {
+        _maxDepth = std::max<std::size_t>(_maxDepth, 1);
+        start(std::move(job));
+    }
+}
+
+void
+FifoResource::start(Job job)
+{
+    _busy = true;
+    Tick service = job.service;
+    int category = job.category;
+    // The completion event owns the job callback.
+    _sim.schedule(service, [this, service, category,
+                            on_done = std::move(job.onDone)]() mutable {
+        _busyTotal += service;
+        if (category >= static_cast<int>(_busyByCat.size()))
+            _busyByCat.resize(category + 1, 0);
+        _busyByCat[category] += service;
+        ++_completed;
+        _busy = false;
+        if (!_queue.empty()) {
+            Job next = std::move(_queue.front());
+            _queue.pop_front();
+            start(std::move(next));
+        }
+        if (on_done)
+            on_done();
+    });
+}
+
+Tick
+FifoResource::busyTime(int category) const
+{
+    if (category < 0 || category >= static_cast<int>(_busyByCat.size()))
+        return 0;
+    return _busyByCat[category];
+}
+
+double
+FifoResource::utilization() const
+{
+    Tick elapsed = _sim.now() - _statsStart;
+    if (elapsed <= 0)
+        return 0.0;
+    return static_cast<double>(_busyTotal) / static_cast<double>(elapsed);
+}
+
+void
+FifoResource::resetStats()
+{
+    _busyTotal = 0;
+    _busyByCat.clear();
+    _completed = 0;
+    _maxDepth = _queue.size() + (_busy ? 1 : 0);
+    _statsStart = _sim.now();
+}
+
+} // namespace press::sim

@@ -1,0 +1,49 @@
+#include "simulator.hpp"
+
+#include "util/logging.hpp"
+
+namespace press::sim {
+
+void
+Simulator::schedule(Tick delay, EventFn fn)
+{
+    PRESS_ASSERT(delay >= 0, "negative event delay ", delay);
+    _queue.push(_now + delay, std::move(fn));
+}
+
+void
+Simulator::scheduleAt(Tick when, EventFn fn)
+{
+    PRESS_ASSERT(when >= _now, "event scheduled in the past: ", when,
+                 " < ", _now);
+    _queue.push(when, std::move(fn));
+}
+
+Tick
+Simulator::run(Tick until)
+{
+    while (!_queue.empty() && _queue.nextTime() <= until) {
+        auto [when, fn] = _queue.pop();
+        _now = when;
+        ++_executed;
+        fn();
+    }
+    if (_queue.empty())
+        return _now;
+    _now = until;
+    return _now;
+}
+
+bool
+Simulator::step()
+{
+    if (_queue.empty())
+        return false;
+    auto [when, fn] = _queue.pop();
+    _now = when;
+    ++_executed;
+    fn();
+    return true;
+}
+
+} // namespace press::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The discrete-event simulator: clock plus event loop.
+ *
+ * Every simulated subsystem (NICs, CPUs, disks, the VIA engine, the PRESS
+ * server) holds a reference to one Simulator and advances by scheduling
+ * callbacks. There is no threading: determinism comes from a single
+ * time-ordered event loop.
+ */
+
+#ifndef PRESS_SIM_SIMULATOR_HPP
+#define PRESS_SIM_SIMULATOR_HPP
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace press::sim {
+
+/** Single-clock discrete-event simulator. */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Schedule @p fn to run @p delay ns from now (delay >= 0). */
+    void schedule(Tick delay, EventFn fn);
+
+    /** Schedule @p fn at absolute time @p when (when >= now()). */
+    void scheduleAt(Tick when, EventFn fn);
+
+    /**
+     * Run until the event queue drains or simulated time would pass
+     * @p until. Events exactly at @p until still run.
+     *
+     * @return the final simulated time.
+     */
+    Tick run(Tick until = MaxTick);
+
+    /**
+     * Process a single event if one is pending.
+     * @return true when an event was processed.
+     */
+    bool step();
+
+    /** Number of events executed so far. */
+    std::uint64_t eventsExecuted() const { return _executed; }
+
+    /** True when no work is pending. */
+    bool idle() const { return _queue.empty(); }
+
+  private:
+    EventQueue _queue;
+    Tick _now = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace press::sim
+
+#endif // PRESS_SIM_SIMULATOR_HPP

@@ -1,0 +1,59 @@
+#include "accumulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace press::stats {
+
+void
+Accumulator::add(double x)
+{
+    ++_n;
+    double delta = x - _mean;
+    _mean += delta / static_cast<double>(_n);
+    _m2 += delta * (x - _mean);
+    _min = std::min(_min, x);
+    _max = std::max(_max, x);
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other._n == 0)
+        return;
+    if (_n == 0) {
+        *this = other;
+        return;
+    }
+    double na = static_cast<double>(_n);
+    double nb = static_cast<double>(other._n);
+    double delta = other._mean - _mean;
+    double total = na + nb;
+    _mean += delta * nb / total;
+    _m2 += other._m2 + delta * delta * na * nb / total;
+    _n += other._n;
+    _min = std::min(_min, other._min);
+    _max = std::max(_max, other._max);
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+double
+Accumulator::variance() const
+{
+    if (_n < 2)
+        return 0.0;
+    return _m2 / static_cast<double>(_n);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace press::stats

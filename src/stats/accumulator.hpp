@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Streaming scalar statistics (count/mean/variance/min/max).
+ */
+
+#ifndef PRESS_STATS_ACCUMULATOR_HPP
+#define PRESS_STATS_ACCUMULATOR_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace press::stats {
+
+/**
+ * Welford-style streaming accumulator. Numerically stable mean and
+ * variance without storing samples.
+ */
+class Accumulator
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const Accumulator &other);
+
+    /** Remove all samples. */
+    void reset();
+
+    std::uint64_t count() const { return _n; }
+    double sum() const { return _mean * static_cast<double>(_n); }
+    double mean() const { return _n ? _mean : 0.0; }
+
+    /** Population variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    double min() const { return _n ? _min : 0.0; }
+    double max() const { return _n ? _max : 0.0; }
+
+  private:
+    std::uint64_t _n = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace press::stats
+
+#endif // PRESS_STATS_ACCUMULATOR_HPP

@@ -1,0 +1,107 @@
+#include "histogram.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace press::stats {
+
+namespace {
+
+std::size_t
+bucketFor(double x)
+{
+    if (x < 1.0)
+        return 0;
+    return static_cast<std::size_t>(std::floor(std::log2(x)));
+}
+
+double
+bucketLo(std::size_t i)
+{
+    return i == 0 ? 0.0 : std::pow(2.0, static_cast<double>(i));
+}
+
+double
+bucketHi(std::size_t i)
+{
+    return std::pow(2.0, static_cast<double>(i + 1));
+}
+
+} // namespace
+
+void
+LogHistogram::add(double x)
+{
+    if (x < 0)
+        x = 0;
+    std::size_t b = bucketFor(x);
+    if (b >= _buckets.size())
+        _buckets.resize(b + 1, 0);
+    ++_buckets[b];
+    ++_count;
+}
+
+std::uint64_t
+LogHistogram::bucket(std::size_t i) const
+{
+    return i < _buckets.size() ? _buckets[i] : 0;
+}
+
+double
+LogHistogram::quantile(double q) const
+{
+    if (_count == 0)
+        return 0.0;
+    if (q < 0)
+        q = 0;
+    if (q > 1)
+        q = 1;
+    double target = q * static_cast<double>(_count);
+    double seen = 0;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        double c = static_cast<double>(_buckets[i]);
+        if (seen + c >= target && c > 0) {
+            double frac = (target - seen) / c;
+            return bucketLo(i) + frac * (bucketHi(i) - bucketLo(i));
+        }
+        seen += c;
+    }
+    return bucketHi(_buckets.size() - 1);
+}
+
+std::string
+LogHistogram::render(std::size_t max_rows) const
+{
+    std::ostringstream os;
+    std::uint64_t peak = 0;
+    for (auto c : _buckets)
+        peak = std::max(peak, c);
+    std::size_t rows = std::min(max_rows, _buckets.size());
+    for (std::size_t i = 0; i < rows; ++i) {
+        std::uint64_t c = _buckets[i];
+        std::size_t bar =
+            peak ? static_cast<std::size_t>(40.0 * c / peak) : 0;
+        os << "[" << bucketLo(i) << ", " << bucketHi(i) << "): " << c << " "
+           << std::string(bar, '#') << "\n";
+    }
+    return os.str();
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    if (other._buckets.size() > _buckets.size())
+        _buckets.resize(other._buckets.size(), 0);
+    for (std::size_t i = 0; i < other._buckets.size(); ++i)
+        _buckets[i] += other._buckets[i];
+    _count += other._count;
+}
+
+void
+LogHistogram::reset()
+{
+    _buckets.clear();
+    _count = 0;
+}
+
+} // namespace press::stats

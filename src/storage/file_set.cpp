@@ -1,0 +1,38 @@
+#include "file_set.hpp"
+
+#include "util/logging.hpp"
+
+namespace press::storage {
+
+FileSet::FileSet(std::vector<std::uint32_t> sizes)
+    : _sizes(std::move(sizes))
+{
+    for (auto s : _sizes)
+        _total += s;
+}
+
+FileId
+FileSet::add(std::uint32_t size)
+{
+    _sizes.push_back(size);
+    _total += size;
+    return static_cast<FileId>(_sizes.size() - 1);
+}
+
+std::uint32_t
+FileSet::size(FileId id) const
+{
+    PRESS_ASSERT(id < _sizes.size(), "file id out of range: ", id);
+    return _sizes[id];
+}
+
+double
+FileSet::averageSize() const
+{
+    if (_sizes.empty())
+        return 0.0;
+    return static_cast<double>(_total) /
+           static_cast<double>(_sizes.size());
+}
+
+} // namespace press::storage

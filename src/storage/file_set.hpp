@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The static file population a server instance serves.
+ */
+
+#ifndef PRESS_STORAGE_FILE_SET_HPP
+#define PRESS_STORAGE_FILE_SET_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace press::storage {
+
+/** Index of a file in a FileSet. */
+using FileId = std::uint32_t;
+
+/** Sentinel for "no file". */
+inline constexpr FileId InvalidFile = UINT32_MAX;
+
+/** Immutable file-id -> size mapping. */
+class FileSet
+{
+  public:
+    FileSet() = default;
+
+    /** Build from explicit sizes. */
+    explicit FileSet(std::vector<std::uint32_t> sizes);
+
+    /** Append a file; returns its id. */
+    FileId add(std::uint32_t size);
+
+    std::uint32_t size(FileId id) const;
+    std::size_t count() const { return _sizes.size(); }
+
+    /** Sum of all file sizes (the working-set footprint). */
+    std::uint64_t totalBytes() const { return _total; }
+
+    /** Arithmetic mean file size (0 when empty). */
+    double averageSize() const;
+
+  private:
+    std::vector<std::uint32_t> _sizes;
+    std::uint64_t _total = 0;
+};
+
+} // namespace press::storage
+
+#endif // PRESS_STORAGE_FILE_SET_HPP

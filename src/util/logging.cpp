@@ -1,0 +1,58 @@
+#include "logging.hpp"
+
+namespace press::util {
+
+namespace {
+
+LogLevel gLevel = LogLevel::Normal;
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel = level;
+}
+
+namespace detail {
+
+void
+panicImpl(std::string_view where, std::string_view what)
+{
+    std::cerr << "panic: " << what;
+    if (!where.empty())
+        std::cerr << " @ " << where;
+    std::cerr << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(std::string_view what)
+{
+    std::cerr << "fatal: " << what << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(std::string_view what)
+{
+    if (gLevel != LogLevel::Quiet)
+        std::cerr << "warn: " << what << std::endl;
+}
+
+void
+informImpl(std::string_view what)
+{
+    if (gLevel != LogLevel::Quiet)
+        std::cout << "info: " << what << std::endl;
+}
+
+} // namespace detail
+
+} // namespace press::util

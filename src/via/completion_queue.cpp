@@ -1,0 +1,41 @@
+#include "completion_queue.hpp"
+
+#include "util/logging.hpp"
+
+namespace press::via {
+
+std::optional<Completion>
+CompletionQueue::poll()
+{
+    if (_queue.empty())
+        return std::nullopt;
+    Completion c = std::move(_queue.front());
+    _queue.pop_front();
+    return c;
+}
+
+void
+CompletionQueue::notify(sim::EventFn fn)
+{
+    PRESS_ASSERT(fn, "null CQ waiter");
+    PRESS_ASSERT(!_waiter, "CQ already has a waiter");
+    if (!_queue.empty()) {
+        _sim.schedule(0, std::move(fn));
+        return;
+    }
+    _waiter = std::move(fn);
+}
+
+void
+CompletionQueue::push(Completion completion)
+{
+    _queue.push_back(std::move(completion));
+    ++_total;
+    if (_waiter) {
+        sim::EventFn fn = std::move(_waiter);
+        _waiter = nullptr;
+        _sim.schedule(0, std::move(fn));
+    }
+}
+
+} // namespace press::via

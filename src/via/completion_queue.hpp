@@ -1,0 +1,73 @@
+/**
+ * @file
+ * VIA Completion Queues.
+ *
+ * A CQ aggregates descriptor completions from the work queues of many VIs
+ * into a single queue, so one thread can service all of a node's
+ * connections. PRESS's receive thread blocks on a CQ; notify() models that
+ * blocking (the callback is the thread wake-up).
+ */
+
+#ifndef PRESS_VIA_COMPLETION_QUEUE_HPP
+#define PRESS_VIA_COMPLETION_QUEUE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "sim/simulator.hpp"
+#include "via/descriptor.hpp"
+
+namespace press::via {
+
+class VirtualInterface;
+
+/** One completed descriptor, as seen through a CQ. */
+struct Completion {
+    DescriptorPtr desc;
+    VirtualInterface *vi = nullptr;
+    bool isRecv = false;
+};
+
+/** A VIA completion queue. */
+class CompletionQueue
+{
+  public:
+    explicit CompletionQueue(sim::Simulator &sim) : _sim(sim) {}
+
+    CompletionQueue(const CompletionQueue &) = delete;
+    CompletionQueue &operator=(const CompletionQueue &) = delete;
+
+    /** Remove the oldest completion, if any. */
+    std::optional<Completion> poll();
+
+    /** Completions currently queued. */
+    std::size_t pending() const { return _queue.size(); }
+
+    /**
+     * Arm a one-shot wake-up: @p fn runs as soon as a completion is
+     * available (immediately — via a zero-delay event — if one is already
+     * queued). Models a thread blocking on the CQ. Only one waiter may be
+     * armed at a time.
+     */
+    void notify(sim::EventFn fn);
+
+    /** True when a waiter is armed. */
+    bool hasWaiter() const { return static_cast<bool>(_waiter); }
+
+    /** Used by VirtualInterface to deposit completions. */
+    void push(Completion completion);
+
+    /** Total completions ever pushed. */
+    std::uint64_t totalCompletions() const { return _total; }
+
+  private:
+    sim::Simulator &_sim;
+    std::deque<Completion> _queue;
+    sim::EventFn _waiter;
+    std::uint64_t _total = 0;
+};
+
+} // namespace press::via
+
+#endif // PRESS_VIA_COMPLETION_QUEUE_HPP

@@ -1,0 +1,42 @@
+#include "descriptor.hpp"
+
+namespace press::via {
+
+DescriptorPtr
+makeSend(Address local, std::uint64_t length, Payload payload,
+         std::uint32_t immediate)
+{
+    auto d = std::make_shared<Descriptor>();
+    d->op = Opcode::Send;
+    d->localAddr = local;
+    d->length = length;
+    d->payload = std::move(payload);
+    d->immediate = immediate;
+    return d;
+}
+
+DescriptorPtr
+makeRecv(Address local, std::uint64_t capacity)
+{
+    auto d = std::make_shared<Descriptor>();
+    d->op = Opcode::Send; // opcode is ignored on the receive queue
+    d->localAddr = local;
+    d->length = capacity;
+    return d;
+}
+
+DescriptorPtr
+makeRdmaWrite(Address local, std::uint64_t length, Address remote,
+              Payload payload, std::uint32_t immediate)
+{
+    auto d = std::make_shared<Descriptor>();
+    d->op = Opcode::RdmaWrite;
+    d->localAddr = local;
+    d->length = length;
+    d->remoteAddr = remote;
+    d->payload = std::move(payload);
+    d->immediate = immediate;
+    return d;
+}
+
+} // namespace press::via

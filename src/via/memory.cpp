@@ -1,0 +1,152 @@
+#include "memory.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace press::via {
+
+namespace {
+
+constexpr std::uint64_t PageSize = 4096;
+
+std::uint64_t
+roundUpToPage(std::uint64_t v)
+{
+    return (v + PageSize - 1) / PageSize * PageSize;
+}
+
+} // namespace
+
+MemoryRegion
+MemoryRegistry::registerMemory(std::uint64_t size, WriteHook hook)
+{
+    return registerImpl(size, std::move(hook), /*backed=*/false);
+}
+
+MemoryRegion
+MemoryRegistry::registerBacked(std::uint64_t size, WriteHook hook)
+{
+    return registerImpl(size, std::move(hook), /*backed=*/true);
+}
+
+MemoryRegion
+MemoryRegistry::registerImpl(std::uint64_t size, WriteHook hook,
+                             bool backed)
+{
+    PRESS_ASSERT(size > 0, "cannot register an empty region");
+    MemoryRegion region;
+    region.handle = _nextHandle++;
+    region.base = _nextBase;
+    region.size = size;
+    _nextBase += roundUpToPage(size) + PageSize; // guard page between
+    _pinned += roundUpToPage(size);
+    Entry entry{region, std::move(hook), {}};
+    if (backed)
+        entry.backing.assign(size, 0);
+    _regions.emplace(region.base, std::move(entry));
+    return region;
+}
+
+bool
+MemoryRegistry::deregister(MemoryHandle handle)
+{
+    for (auto it = _regions.begin(); it != _regions.end(); ++it) {
+        if (it->second.region.handle == handle) {
+            _pinned -= roundUpToPage(it->second.region.size);
+            _regions.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+const MemoryRegistry::Entry *
+MemoryRegistry::entryFor(Address addr, std::uint64_t length) const
+{
+    auto it = _regions.upper_bound(addr);
+    if (it == _regions.begin())
+        return nullptr;
+    --it;
+    const Entry &e = it->second;
+    const MemoryRegion &r = e.region;
+    if (addr >= r.base && addr + length <= r.base + r.size)
+        return &e;
+    return nullptr;
+}
+
+MemoryRegistry::Entry *
+MemoryRegistry::entryFor(Address addr, std::uint64_t length)
+{
+    return const_cast<Entry *>(
+        static_cast<const MemoryRegistry *>(this)->entryFor(addr,
+                                                            length));
+}
+
+std::optional<MemoryRegion>
+MemoryRegistry::find(Address addr, std::uint64_t length) const
+{
+    const Entry *e = entryFor(addr, length);
+    if (!e)
+        return std::nullopt;
+    return e->region;
+}
+
+bool
+MemoryRegistry::isBacked(Address addr) const
+{
+    const Entry *e = entryFor(addr, 1);
+    return e && !e->backing.empty();
+}
+
+void
+MemoryRegistry::store(Address addr, std::span<const std::uint8_t> data)
+{
+    Entry *e = entryFor(addr, data.size());
+    PRESS_ASSERT(e, "store outside any registered region");
+    PRESS_ASSERT(!e->backing.empty(), "store into an unbacked region");
+    std::memcpy(e->backing.data() + (addr - e->region.base), data.data(),
+                data.size());
+}
+
+std::vector<std::uint8_t>
+MemoryRegistry::fetch(Address addr, std::uint64_t length) const
+{
+    const Entry *e = entryFor(addr, length);
+    PRESS_ASSERT(e, "fetch outside any registered region");
+    PRESS_ASSERT(!e->backing.empty(), "fetch from an unbacked region");
+    auto *begin = e->backing.data() + (addr - e->region.base);
+    return std::vector<std::uint8_t>(begin, begin + length);
+}
+
+void
+MemoryRegistry::dmaCopy(const MemoryRegistry &src, Address src_addr,
+                        MemoryRegistry &dst, Address dst_addr,
+                        std::uint64_t length)
+{
+    if (length == 0)
+        return;
+    const Entry *se = src.entryFor(src_addr, length);
+    Entry *de = dst.entryFor(dst_addr, length);
+    if (!se || !de || se->backing.empty() || de->backing.empty())
+        return; // at least one plain region: metadata-only transfer
+    std::memcpy(de->backing.data() + (dst_addr - de->region.base),
+                se->backing.data() + (src_addr - se->region.base),
+                length);
+}
+
+bool
+MemoryRegistry::deliverWrite(Address addr, std::uint64_t length,
+                             const Payload &payload,
+                             std::uint32_t immediate)
+{
+    Entry *e = entryFor(addr, length);
+    if (!e)
+        return false;
+    if (e->hook)
+        e->hook(addr - e->region.base, length, payload, immediate);
+    return true;
+}
+
+} // namespace press::via

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Virtual Interfaces: VIA's connection end-points.
+ *
+ * A VI is the VIA analogue of a connected socket: a send queue and a
+ * receive queue of descriptors, processed asynchronously by the NIC.
+ * Pairs of VIs are connected point-to-point with a negotiated reliability
+ * level. Completions go either to per-VI done queues or to shared
+ * Completion Queues.
+ */
+
+#ifndef PRESS_VIA_VIRTUAL_INTERFACE_HPP
+#define PRESS_VIA_VIRTUAL_INTERFACE_HPP
+
+#include <cstdint>
+#include <deque>
+
+#include "net/fabric.hpp"
+#include "via/completion_queue.hpp"
+#include "via/descriptor.hpp"
+#include "via/types.hpp"
+
+namespace press::via {
+
+class ViaNic;
+
+/** A VIA connection end-point. */
+class VirtualInterface
+{
+  public:
+    VirtualInterface(const VirtualInterface &) = delete;
+    VirtualInterface &operator=(const VirtualInterface &) = delete;
+
+    /** Work-queue depth limit, as real VIA providers advertise
+     *  (cLAN default was 1024 entries per queue). */
+    static constexpr std::size_t MaxQueueDepth = 1024;
+
+    /**
+     * Post a descriptor to the send queue. The NIC processes send-queue
+     * descriptors asynchronously and in order. The VI must be connected.
+     *
+     * For Opcode::RdmaWrite the remote address must fall inside a region
+     * the *peer* node registered; otherwise the descriptor completes with
+     * ErrorNotRegistered (reliable VIs) or the write is dropped
+     * (unreliable VIs).
+     *
+     * @return false (descriptor not queued) when the send queue is at
+     *         MaxQueueDepth — the caller must reap completions first.
+     */
+    bool postSend(DescriptorPtr desc);
+
+    /**
+     * Pre-post a receive buffer. Buffers are consumed FIFO by arriving
+     * regular sends.
+     * @return false when the receive queue is at MaxQueueDepth.
+     */
+    bool postRecv(DescriptorPtr desc);
+
+    /**
+     * Reap the oldest completed send descriptor, when no send CQ is
+     * attached. Returns nullptr when nothing has completed.
+     */
+    DescriptorPtr pollSend();
+
+    /** Reap the oldest completed receive descriptor (no recv CQ case). */
+    DescriptorPtr pollRecv();
+
+    /** Receive descriptors currently posted and unconsumed. */
+    std::size_t recvPosted() const { return _recvQueue.size(); }
+
+    /** Send descriptors handed to the NIC and not yet completed. */
+    std::size_t sendOutstanding() const { return _sendOutstanding; }
+
+    bool connected() const { return _peer != nullptr && !_broken; }
+    bool broken() const { return _broken; }
+
+    Reliability reliability() const { return _reliability; }
+    VirtualInterface *peer() const { return _peer; }
+    net::NodeId node() const { return _node; }
+    ViaNic &nic() const { return _nic; }
+    int id() const { return _id; }
+
+  private:
+    friend class ViaNic;
+
+    VirtualInterface(ViaNic &nic, net::NodeId node, int id,
+                     Reliability reliability, CompletionQueue *send_cq,
+                     CompletionQueue *recv_cq);
+
+    /** Deposit a completed send descriptor. */
+    void completeSend(DescriptorPtr desc, Status status);
+
+    /** Deposit a completed receive descriptor. */
+    void completeRecv(DescriptorPtr desc);
+
+    /** Consume the next posted receive descriptor; nullptr if none. */
+    DescriptorPtr takeRecv();
+
+    /** Mark the connection broken (reliable-mode errors). */
+    void markBroken() { _broken = true; }
+
+    /** Complete every posted receive descriptor with ErrorFlushed. */
+    void flushRecvQueue();
+
+    ViaNic &_nic;
+    net::NodeId _node;
+    int _id;
+    Reliability _reliability;
+    CompletionQueue *_sendCq;
+    CompletionQueue *_recvCq;
+    VirtualInterface *_peer = nullptr;
+    bool _broken = false;
+
+    std::deque<DescriptorPtr> _recvQueue;   ///< posted receive buffers
+    std::deque<DescriptorPtr> _sendDone;    ///< completed sends (no CQ)
+    std::deque<DescriptorPtr> _recvDone;    ///< completed recvs (no CQ)
+    std::size_t _sendOutstanding = 0;
+};
+
+} // namespace press::via
+
+#endif // PRESS_VIA_VIRTUAL_INTERFACE_HPP

@@ -1,0 +1,136 @@
+#include "clf.hpp"
+
+#include <charconv>
+#include <istream>
+#include <unordered_map>
+
+namespace press::workload {
+
+namespace {
+
+/** Strip the query/fragment from a request target. */
+std::string_view
+pathOnly(std::string_view target)
+{
+    auto cut = target.find_first_of("?#");
+    return cut == std::string_view::npos ? target : target.substr(0, cut);
+}
+
+} // namespace
+
+std::optional<ClfRecord>
+parseClfLine(std::string_view line)
+{
+    // The request field is the part between the first pair of quotes.
+    auto q1 = line.find('"');
+    if (q1 == std::string_view::npos)
+        return std::nullopt;
+    auto q2 = line.find('"', q1 + 1);
+    if (q2 == std::string_view::npos)
+        return std::nullopt;
+    std::string_view request = line.substr(q1 + 1, q2 - q1 - 1);
+
+    ClfRecord rec;
+    // METHOD SP TARGET [SP HTTP/x.y] — ancient logs sometimes omit the
+    // protocol.
+    auto sp1 = request.find(' ');
+    if (sp1 == std::string_view::npos || sp1 == 0)
+        return std::nullopt;
+    rec.method = std::string(request.substr(0, sp1));
+    std::string_view rest = request.substr(sp1 + 1);
+    auto sp2 = rest.rfind(' ');
+    std::string_view target =
+        (sp2 != std::string_view::npos &&
+         rest.substr(sp2 + 1).starts_with("HTTP"))
+            ? rest.substr(0, sp2)
+            : rest;
+    if (target.empty())
+        return std::nullopt;
+    rec.path = std::string(pathOnly(target));
+
+    // After the closing quote: SP status SP bytes.
+    std::string_view tail = line.substr(q2 + 1);
+    while (!tail.empty() && tail.front() == ' ')
+        tail.remove_prefix(1);
+    auto sp3 = tail.find(' ');
+    if (sp3 == std::string_view::npos)
+        return std::nullopt;
+    std::string_view status_sv = tail.substr(0, sp3);
+    auto [p1, e1] = std::from_chars(
+        status_sv.data(), status_sv.data() + status_sv.size(),
+        rec.status);
+    if (e1 != std::errc())
+        return std::nullopt;
+
+    std::string_view bytes_sv = tail.substr(sp3 + 1);
+    auto end = bytes_sv.find(' ');
+    if (end != std::string_view::npos)
+        bytes_sv = bytes_sv.substr(0, end);
+    while (!bytes_sv.empty() &&
+           (bytes_sv.back() == '\r' || bytes_sv.back() == '\n'))
+        bytes_sv.remove_suffix(1);
+    if (bytes_sv == "-" || bytes_sv.empty()) {
+        rec.bytes = 0;
+    } else {
+        auto [p2, e2] = std::from_chars(
+            bytes_sv.data(), bytes_sv.data() + bytes_sv.size(),
+            rec.bytes);
+        if (e2 != std::errc())
+            return std::nullopt;
+    }
+    return rec;
+}
+
+Trace
+importClf(std::istream &is, const std::string &name,
+          ClfImportStats *stats)
+{
+    ClfImportStats local;
+    ClfImportStats &st = stats ? *stats : local;
+
+    // First pass over the stream is impossible (it may not be
+    // seekable), so accumulate requests by path and patch sizes at the
+    // end.
+    std::unordered_map<std::string, storage::FileId> ids;
+    std::vector<std::uint32_t> sizes;
+    std::vector<storage::FileId> requests;
+
+    std::string line;
+    while (std::getline(is, line)) {
+        ++st.lines;
+        auto rec = parseClfLine(line);
+        if (!rec) {
+            ++st.malformed;
+            continue;
+        }
+        // The paper: static-content GETs, completed transfers only.
+        if (rec->method != "GET" && rec->method != "get") {
+            ++st.dropped;
+            continue;
+        }
+        if (rec->status != 200 || rec->bytes == 0) {
+            ++st.dropped;
+            continue;
+        }
+        ++st.accepted;
+        auto [it, inserted] =
+            ids.emplace(rec->path, static_cast<storage::FileId>(
+                                       sizes.size()));
+        if (inserted)
+            sizes.push_back(0);
+        auto id = it->second;
+        sizes[id] = std::max(
+            sizes[id],
+            static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(rec->bytes, UINT32_MAX)));
+        requests.push_back(id);
+    }
+
+    Trace trace;
+    trace.name = name;
+    trace.files = storage::FileSet(std::move(sizes));
+    trace.requests = std::move(requests);
+    return trace;
+}
+
+} // namespace press::workload

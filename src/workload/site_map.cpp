@@ -1,0 +1,77 @@
+#include "site_map.hpp"
+
+#include <array>
+
+#include "util/logging.hpp"
+#include "util/random.hpp"
+
+namespace press::workload {
+
+namespace {
+
+constexpr std::array<const char *, 8> Dirs{
+    "", "docs", "imgs", "people", "pub", "news", "archive", "software",
+};
+
+// Weighted toward the mix of a 1990s static site.
+constexpr std::array<const char *, 10> Exts{
+    "html", "html", "html", "html", "gif", "gif", "jpg",
+    "txt",  "ps",   "pdf",
+};
+
+std::string
+base36(std::uint64_t v)
+{
+    static const char digits[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+    std::string out;
+    do {
+        out.insert(out.begin(), digits[v % 36]);
+        v /= 36;
+    } while (v);
+    return out;
+}
+
+} // namespace
+
+SiteMap::SiteMap(const storage::FileSet &files, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    _paths.reserve(files.count());
+    for (storage::FileId f = 0; f < files.count(); ++f) {
+        const char *dir = Dirs[rng.uniformInt(Dirs.size())];
+        const char *ext = Exts[rng.uniformInt(Exts.size())];
+        std::string path = "/";
+        if (*dir) {
+            path += dir;
+            path += "/";
+        }
+        path += base36(f);
+        path += ".";
+        path += ext;
+        _paths.push_back(std::move(path));
+    }
+    _index.reserve(_paths.size());
+    for (storage::FileId f = 0; f < _paths.size(); ++f) {
+        auto [it, inserted] =
+            _index.emplace(std::string_view(_paths[f]), f);
+        PRESS_ASSERT(inserted, "duplicate site path ", _paths[f]);
+    }
+}
+
+const std::string &
+SiteMap::path(storage::FileId file) const
+{
+    PRESS_ASSERT(file < _paths.size(), "file id out of range");
+    return _paths[file];
+}
+
+std::optional<storage::FileId>
+SiteMap::resolve(std::string_view normalized_path) const
+{
+    auto it = _index.find(normalized_path);
+    if (it == _index.end())
+        return std::nullopt;
+    return it->second;
+}
+
+} // namespace press::workload

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * SiteMap: deterministic URL paths for a file population.
+ *
+ * The traces name files by id; the HTTP layer needs real paths. SiteMap
+ * lays the population out as a late-90s static site — a directory tree
+ * with era-typical extensions — deterministically from a seed, and
+ * resolves normalized request paths back to file ids.
+ */
+
+#ifndef PRESS_WORKLOAD_SITE_MAP_HPP
+#define PRESS_WORKLOAD_SITE_MAP_HPP
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/file_set.hpp"
+
+namespace press::workload {
+
+/** URL namespace over a FileSet. */
+class SiteMap
+{
+  public:
+    /**
+     * @param files  population to name (must outlive the map)
+     * @param seed   layout randomness
+     */
+    explicit SiteMap(const storage::FileSet &files,
+                     std::uint64_t seed = 2001);
+
+    /** Absolute path of @p file ("/docs/a1b2.html"). */
+    const std::string &path(storage::FileId file) const;
+
+    /** File for a normalized absolute path; nullopt when unknown. */
+    std::optional<storage::FileId>
+    resolve(std::string_view normalized_path) const;
+
+    std::size_t count() const { return _paths.size(); }
+
+  private:
+    std::vector<std::string> _paths;
+    std::unordered_map<std::string_view, storage::FileId> _index;
+};
+
+} // namespace press::workload
+
+#endif // PRESS_WORKLOAD_SITE_MAP_HPP

@@ -1,0 +1,131 @@
+#include "stack_distance.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace press::workload {
+
+namespace {
+
+/** Fenwick (binary indexed) tree over access timestamps, storing the
+ *  byte size of the file whose *last* access sits at each position. */
+class Fenwick
+{
+  public:
+    explicit Fenwick(std::size_t n) : _tree(n + 1, 0) {}
+
+    void
+    add(std::size_t pos, std::int64_t delta)
+    {
+        for (std::size_t i = pos + 1; i < _tree.size(); i += i & (~i + 1))
+            _tree[i] += delta;
+    }
+
+    /** Sum of [0, pos]. */
+    std::int64_t
+    prefix(std::size_t pos) const
+    {
+        std::int64_t s = 0;
+        for (std::size_t i = pos + 1; i > 0; i -= i & (~i + 1))
+            s += _tree[i];
+        return s;
+    }
+
+    std::int64_t total() const { return prefix(_tree.size() - 2); }
+
+  private:
+    std::vector<std::int64_t> _tree;
+};
+
+/** Bucket distances to 4 KiB so the curve stays compact. */
+constexpr std::uint64_t DistanceBucket = 4096;
+
+} // namespace
+
+double
+MissRatioCurve::missRatio(std::uint64_t capacity) const
+{
+    if (accesses == 0)
+        return 0.0;
+    // Largest recorded distance <= capacity.
+    auto it = std::upper_bound(distanceBytes.begin(), distanceBytes.end(),
+                               capacity);
+    std::uint64_t hits =
+        it == distanceBytes.begin()
+            ? 0
+            : cumulativeHits[static_cast<std::size_t>(
+                  it - distanceBytes.begin() - 1)];
+    return 1.0 - static_cast<double>(hits) /
+                     static_cast<double>(accesses);
+}
+
+std::uint64_t
+MissRatioCurve::capacityForMissRatio(double target) const
+{
+    if (accesses == 0)
+        return 0;
+    double cold =
+        static_cast<double>(coldMisses) / static_cast<double>(accesses);
+    if (target < cold)
+        return 0; // cold misses alone exceed the target
+    for (std::size_t i = 0; i < distanceBytes.size(); ++i) {
+        double miss = 1.0 - static_cast<double>(cumulativeHits[i]) /
+                                static_cast<double>(accesses);
+        if (miss <= target)
+            return distanceBytes[i];
+    }
+    return 0;
+}
+
+MissRatioCurve
+analyzeStackDistances(const Trace &trace)
+{
+    MissRatioCurve curve;
+    curve.accesses = trace.requests.size();
+    if (trace.requests.empty())
+        return curve;
+
+    Fenwick tree(trace.requests.size());
+    // last position of each file in the access stream; -1 = untouched.
+    std::unordered_map<storage::FileId, std::size_t> last;
+    last.reserve(trace.files.count());
+    std::map<std::uint64_t, std::uint64_t> histogram; // distance -> count
+
+    for (std::size_t t = 0; t < trace.requests.size(); ++t) {
+        storage::FileId f = trace.requests[t];
+        std::uint32_t size = trace.files.size(f);
+        auto it = last.find(f);
+        if (it == last.end()) {
+            ++curve.coldMisses;
+        } else {
+            // Distinct bytes touched strictly after the previous access
+            // of f (the file itself sits at it->second and is excluded).
+            std::int64_t between =
+                tree.total() - tree.prefix(it->second);
+            auto distance =
+                static_cast<std::uint64_t>(between) + size;
+            std::uint64_t bucket =
+                (distance + DistanceBucket - 1) / DistanceBucket *
+                DistanceBucket;
+            ++histogram[bucket];
+            tree.add(it->second, -static_cast<std::int64_t>(size));
+        }
+        tree.add(t, size);
+        last[f] = t;
+    }
+
+    curve.distanceBytes.reserve(histogram.size());
+    curve.cumulativeHits.reserve(histogram.size());
+    std::uint64_t running = 0;
+    for (const auto &[dist, count] : histogram) {
+        running += count;
+        curve.distanceBytes.push_back(dist);
+        curve.cumulativeHits.push_back(running);
+    }
+    PRESS_ASSERT(running + curve.coldMisses == curve.accesses,
+                 "stack-distance accounting mismatch");
+    return curve;
+}
+
+} // namespace press::workload

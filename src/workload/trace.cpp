@@ -1,0 +1,125 @@
+#include "trace.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.hpp"
+
+namespace press::workload {
+
+std::uint64_t
+Trace::requestedBytes() const
+{
+    std::uint64_t total = 0;
+    for (FileId f : requests)
+        total += files.size(f);
+    return total;
+}
+
+double
+Trace::averageRequestSize() const
+{
+    if (requests.empty())
+        return 0.0;
+    return static_cast<double>(requestedBytes()) /
+           static_cast<double>(requests.size());
+}
+
+void
+Trace::save(std::ostream &os) const
+{
+    os << "presstrace 1\n";
+    os << name << "\n";
+    os << files.count() << " " << requests.size() << "\n";
+    for (std::size_t i = 0; i < files.count(); ++i)
+        os << files.size(static_cast<FileId>(i)) << "\n";
+    for (FileId f : requests)
+        os << f << "\n";
+}
+
+Trace
+Trace::load(std::istream &is)
+{
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    if (magic != "presstrace" || version != 1)
+        util::fatal("not a presstrace v1 stream");
+    Trace t;
+    is >> std::ws;
+    std::getline(is, t.name);
+    std::size_t nfiles = 0, nreqs = 0;
+    is >> nfiles >> nreqs;
+    std::vector<std::uint32_t> sizes;
+    sizes.reserve(nfiles);
+    for (std::size_t i = 0; i < nfiles; ++i) {
+        std::uint32_t s = 0;
+        if (!(is >> s))
+            util::fatal("truncated trace: file sizes");
+        sizes.push_back(s);
+    }
+    t.files = FileSet(std::move(sizes));
+    t.requests.reserve(nreqs);
+    for (std::size_t i = 0; i < nreqs; ++i) {
+        FileId f = 0;
+        if (!(is >> f))
+            util::fatal("truncated trace: requests");
+        if (f >= t.files.count())
+            util::fatal("trace request references unknown file ", f);
+        t.requests.push_back(f);
+    }
+    return t;
+}
+
+void
+Trace::saveFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        util::fatal("cannot write trace file ", path);
+    save(os);
+}
+
+Trace
+Trace::loadFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        util::fatal("cannot read trace file ", path);
+    return load(is);
+}
+
+RequestFeed::RequestFeed(const Trace &trace, std::uint64_t limit, bool wrap)
+    : _trace(trace),
+      _limit(limit ? limit : trace.requests.size()),
+      _wrap(wrap)
+{
+}
+
+FileId
+RequestFeed::next()
+{
+    if (exhausted())
+        return storage::InvalidFile;
+    if (_cursor >= _trace.requests.size()) {
+        if (!_wrap)
+            return storage::InvalidFile;
+        _cursor = 0;
+    }
+    FileId f = _trace.requests[_cursor++];
+    ++_issued;
+    return f;
+}
+
+bool
+RequestFeed::exhausted() const
+{
+    if (_issued >= _limit)
+        return true;
+    if (!_wrap && _cursor >= _trace.requests.size())
+        return true;
+    return false;
+}
+
+} // namespace press::workload

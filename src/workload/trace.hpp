@@ -1,0 +1,86 @@
+/**
+ * @file
+ * WWW-server traces: a file population plus a request stream.
+ *
+ * The paper replays four real traces (Clarknet, Forth, Nasa, Rutgers;
+ * Table 1) with timing information discarded — clients issue requests as
+ * fast as possible. A Trace here is therefore just an ordered list of
+ * file ids over a FileSet. Traces can be saved/loaded in a small text
+ * format so generated workloads are inspectable and reusable.
+ */
+
+#ifndef PRESS_WORKLOAD_TRACE_HPP
+#define PRESS_WORKLOAD_TRACE_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "storage/file_set.hpp"
+
+namespace press::workload {
+
+using storage::FileId;
+using storage::FileSet;
+
+/** A replayable server workload. */
+struct Trace {
+    std::string name;
+    FileSet files;
+    std::vector<FileId> requests;
+
+    /** Total bytes requested across the stream. */
+    std::uint64_t requestedBytes() const;
+
+    /** Arithmetic mean requested size (0 when empty). */
+    double averageRequestSize() const;
+
+    /** Serialize to a stream (text format, one size/request per line). */
+    void save(std::ostream &os) const;
+
+    /** Parse a trace written by save(). Throws via util::fatal on
+     *  malformed input. */
+    static Trace load(std::istream &is);
+
+    /** Convenience file-path wrappers. */
+    void saveFile(const std::string &path) const;
+    static Trace loadFile(const std::string &path);
+};
+
+/**
+ * A shared cursor over a trace's request stream. Clients pull the next
+ * request id; the feed optionally wraps around (for fixed-duration runs)
+ * or ends (for fixed-work runs).
+ */
+class RequestFeed
+{
+  public:
+    /**
+     * @param trace  the trace to read (must outlive the feed)
+     * @param limit  stop after this many requests; 0 = one full pass
+     * @param wrap   restart from the beginning when the stream ends
+     */
+    explicit RequestFeed(const Trace &trace, std::uint64_t limit = 0,
+                         bool wrap = false);
+
+    /**
+     * Fetch the next request.
+     * @return the file id, or storage::InvalidFile when exhausted.
+     */
+    FileId next();
+
+    std::uint64_t issued() const { return _issued; }
+    bool exhausted() const;
+
+  private:
+    const Trace &_trace;
+    std::uint64_t _limit;
+    bool _wrap;
+    std::size_t _cursor = 0;
+    std::uint64_t _issued = 0;
+};
+
+} // namespace press::workload
+
+#endif // PRESS_WORKLOAD_TRACE_HPP

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the locality and load directories.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/directories.hpp"
+
+using press::core::CacheDirectory;
+using press::core::LoadDirectory;
+using press::util::Rng;
+
+TEST(LoadDirectory, UpdatesAndReads)
+{
+    LoadDirectory d(4, 0);
+    EXPECT_EQ(d.load(3), 0);
+    d.update(3, 55);
+    EXPECT_EQ(d.load(3), 55);
+    d.setSelf(10);
+    EXPECT_EQ(d.load(0), 10);
+}
+
+TEST(LoadDirectory, LeastLoadedBreaksTiesLow)
+{
+    LoadDirectory d(4, 0);
+    d.update(0, 5);
+    d.update(1, 3);
+    d.update(2, 3);
+    d.update(3, 9);
+    EXPECT_EQ(d.leastLoaded(), 1);
+}
+
+TEST(CacheDirectory, UpdateAndQuery)
+{
+    CacheDirectory d(8);
+    EXPECT_FALSE(d.anyoneCaches(42));
+    d.update(3, 42, true);
+    EXPECT_TRUE(d.anyoneCaches(42));
+    EXPECT_TRUE(d.caches(3, 42));
+    EXPECT_FALSE(d.caches(2, 42));
+    d.update(5, 42, true);
+    EXPECT_EQ(d.mask(42), (1u << 3) | (1u << 5));
+    d.update(3, 42, false);
+    EXPECT_FALSE(d.caches(3, 42));
+    EXPECT_TRUE(d.anyoneCaches(42));
+    d.update(5, 42, false);
+    EXPECT_FALSE(d.anyoneCaches(42));
+    EXPECT_EQ(d.knownFiles(), 0u);
+}
+
+TEST(CacheDirectory, EvictUnknownFileIsNoop)
+{
+    CacheDirectory d(4);
+    d.update(1, 7, false);
+    EXPECT_FALSE(d.anyoneCaches(7));
+}
+
+TEST(CacheDirectory, LeastLoadedCaching)
+{
+    CacheDirectory d(4);
+    LoadDirectory loads(4, 0);
+    d.update(1, 9, true);
+    d.update(2, 9, true);
+    loads.update(1, 50);
+    loads.update(2, 20);
+    EXPECT_EQ(d.leastLoadedCaching(9, loads), 2);
+    loads.update(2, 90);
+    EXPECT_EQ(d.leastLoadedCaching(9, loads), 1);
+    EXPECT_EQ(d.leastLoadedCaching(1234, loads), -1);
+}
+
+TEST(CacheDirectory, RandomCachingCoversAllHolders)
+{
+    CacheDirectory d(8);
+    d.update(2, 5, true);
+    d.update(4, 5, true);
+    d.update(7, 5, true);
+    Rng rng(3);
+    std::set<int> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(d.randomCaching(5, rng));
+    EXPECT_EQ(seen, (std::set<int>{2, 4, 7}));
+    EXPECT_EQ(d.randomCaching(999, rng), -1);
+}
+
+TEST(CacheDirectory, RejectsOversizedClusters)
+{
+    EXPECT_DEATH(CacheDirectory d(65), "1..64");
+}

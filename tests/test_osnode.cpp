@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the node model: disk timing and CPU categories.
+ */
+
+#include <gtest/gtest.h>
+
+#include "osnode/node.hpp"
+#include "util/units.hpp"
+
+using namespace press;
+using namespace press::util;
+using osnode::Disk;
+using osnode::DiskParams;
+using osnode::Node;
+
+TEST(Disk, ReadTimeMatchesTable5)
+{
+    // mu_d = (0.0188 + S/3000)^-1 with S in KB: 16 KB -> 24.13 ms.
+    sim::Simulator sim;
+    Disk d(sim, "disk");
+    sim::Tick t = d.readTime(16000);
+    EXPECT_NEAR(static_cast<double>(t) / 1e6, 24.13, 0.05);
+}
+
+TEST(Disk, ReadsQueueFifo)
+{
+    sim::Simulator sim;
+    DiskParams p;
+    p.positioning = 10 * MS;
+    p.bandwidth = 1 * MB;
+    Disk d(sim, "disk", p);
+    std::vector<sim::Tick> done;
+    d.read(1000, [&] { done.push_back(sim.now()); }); // 10ms + 1ms
+    d.read(2000, [&] { done.push_back(sim.now()); }); // + 10ms + 2ms
+    sim.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0], 11 * MS);
+    EXPECT_EQ(done[1], 23 * MS);
+    EXPECT_EQ(d.reads(), 2u);
+    EXPECT_EQ(d.busyTime(), 23 * MS);
+}
+
+TEST(Disk, ResetStatsClears)
+{
+    sim::Simulator sim;
+    Disk d(sim, "disk");
+    d.read(1000, {});
+    sim.run();
+    EXPECT_GT(d.busyTime(), 0);
+    d.resetStats();
+    EXPECT_EQ(d.busyTime(), 0);
+}
+
+TEST(Node, OwnsCpuAndDisk)
+{
+    sim::Simulator sim;
+    Node n(sim, 3);
+    EXPECT_EQ(n.id(), 3);
+    n.cpu().submit(100, osnode::CatService);
+    n.disk().read(100, {});
+    sim.run();
+    EXPECT_EQ(n.cpu().busyTime(osnode::CatService), 100);
+    EXPECT_GT(n.disk().busyTime(), 0);
+}
+
+TEST(Node, CategoryNames)
+{
+    EXPECT_STREQ(osnode::cpuCategoryName(osnode::CatService), "service");
+    EXPECT_STREQ(osnode::cpuCategoryName(osnode::CatIntraComm),
+                 "intra-comm");
+    EXPECT_STREQ(osnode::cpuCategoryName(osnode::CatClientComm),
+                 "client-comm");
+    EXPECT_STREQ(osnode::cpuCategoryName(999), "unknown");
+}
+
+TEST(Node, CpuAndDiskOverlap)
+{
+    // The disk helper threads keep the main thread running: CPU work
+    // and a disk read submitted together must overlap, not serialize.
+    sim::Simulator sim;
+    Node n(sim, 0);
+    sim::Tick cpu_done = -1, disk_done = -1;
+    n.cpu().submit(30 * MS, 0, [&] { cpu_done = sim.now(); });
+    n.disk().read(30000, [&] { disk_done = sim.now(); });
+    sim.run();
+    EXPECT_EQ(cpu_done, 30 * MS);
+    EXPECT_LT(disk_done, 60 * MS); // would be ~59 ms if serialized
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the event queue and the simulator clock/loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+using press::sim::EventQueue;
+using press::sim::MaxTick;
+using press::sim::Simulator;
+using press::sim::Tick;
+
+TEST(EventQueue, OrdersByTime)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.push(30, [&] { order.push_back(3); });
+    q.push(10, [&] { order.push_back(1); });
+    q.push(20, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.pop().second();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongEqualTimes)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i)
+        q.push(5, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.pop().second();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NextTimeOnEmpty)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextTime(), MaxTick);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(Simulator, ClockAdvancesToEventTimes)
+{
+    Simulator sim;
+    std::vector<Tick> seen;
+    sim.schedule(100, [&] { seen.push_back(sim.now()); });
+    sim.schedule(50, [&] { seen.push_back(sim.now()); });
+    sim.run();
+    EXPECT_EQ(seen, (std::vector<Tick>{50, 100}));
+    EXPECT_EQ(sim.now(), 100);
+    EXPECT_EQ(sim.eventsExecuted(), 2u);
+}
+
+TEST(Simulator, EventsScheduleMoreEvents)
+{
+    Simulator sim;
+    int fired = 0;
+    std::function<void()> chain = [&]() {
+        ++fired;
+        if (fired < 10)
+            sim.schedule(7, chain);
+    };
+    sim.schedule(0, chain);
+    sim.run();
+    EXPECT_EQ(fired, 10);
+    EXPECT_EQ(sim.now(), 9 * 7);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(10, [&] { ++fired; });
+    sim.schedule(20, [&] { ++fired; });
+    sim.schedule(30, [&] { ++fired; });
+    sim.run(20);
+    EXPECT_EQ(fired, 2); // events at t<=20 run
+    EXPECT_EQ(sim.now(), 20);
+    sim.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, StepProcessesOneEvent)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(1, [&] { ++fired; });
+    sim.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(sim.step());
+    EXPECT_FALSE(sim.step());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime)
+{
+    Simulator sim;
+    Tick when = -1;
+    sim.schedule(42, [&] {
+        sim.schedule(0, [&] { when = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(when, 42);
+}
+
+TEST(Simulator, IdleReflectsQueue)
+{
+    Simulator sim;
+    EXPECT_TRUE(sim.idle());
+    sim.schedule(1, [] {});
+    EXPECT_FALSE(sim.idle());
+    sim.run();
+    EXPECT_TRUE(sim.idle());
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for FifoResource: serial service, queueing, busy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/resource.hpp"
+
+using press::sim::FifoResource;
+using press::sim::Simulator;
+using press::sim::Tick;
+
+TEST(FifoResource, ServesSerially)
+{
+    Simulator sim;
+    FifoResource r(sim, "cpu");
+    std::vector<Tick> done;
+    r.submit(10, 0, [&] { done.push_back(sim.now()); });
+    r.submit(5, 0, [&] { done.push_back(sim.now()); });
+    r.submit(1, 0, [&] { done.push_back(sim.now()); });
+    sim.run();
+    EXPECT_EQ(done, (std::vector<Tick>{10, 15, 16}));
+    EXPECT_EQ(r.completed(), 3u);
+}
+
+TEST(FifoResource, BusyTimeByCategory)
+{
+    Simulator sim;
+    FifoResource r(sim, "cpu");
+    r.submit(10, 0);
+    r.submit(20, 1);
+    r.submit(30, 1);
+    sim.run();
+    EXPECT_EQ(r.busyTime(), 60);
+    EXPECT_EQ(r.busyTime(0), 10);
+    EXPECT_EQ(r.busyTime(1), 50);
+    EXPECT_EQ(r.busyTime(7), 0);
+}
+
+TEST(FifoResource, UtilizationOverWindow)
+{
+    Simulator sim;
+    FifoResource r(sim, "cpu");
+    r.submit(25, 0);
+    sim.schedule(100, [] {}); // stretch the clock
+    sim.run();
+    EXPECT_NEAR(r.utilization(), 0.25, 1e-9);
+}
+
+TEST(FifoResource, SubmitFromCompletion)
+{
+    Simulator sim;
+    FifoResource r(sim, "cpu");
+    std::vector<Tick> done;
+    r.submit(10, 0, [&] {
+        done.push_back(sim.now());
+        r.submit(10, 0, [&] { done.push_back(sim.now()); });
+    });
+    sim.run();
+    EXPECT_EQ(done, (std::vector<Tick>{10, 20}));
+}
+
+TEST(FifoResource, ZeroCostJobsKeepOrder)
+{
+    Simulator sim;
+    FifoResource r(sim, "cpu");
+    std::vector<int> order;
+    r.submit(5, 0, [&] { order.push_back(1); });
+    r.submit(0, 0, [&] { order.push_back(2); });
+    r.submit(0, 0, [&] { order.push_back(3); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(FifoResource, MaxDepthTracksBacklog)
+{
+    Simulator sim;
+    FifoResource r(sim, "cpu");
+    for (int i = 0; i < 5; ++i)
+        r.submit(10, 0);
+    EXPECT_EQ(r.maxDepth(), 5u);
+    sim.run();
+    EXPECT_EQ(r.queued(), 0u);
+    EXPECT_FALSE(r.busy());
+}
+
+TEST(FifoResource, ResetStatsClearsAccounting)
+{
+    Simulator sim;
+    FifoResource r(sim, "cpu");
+    r.submit(10, 2);
+    sim.run();
+    r.resetStats();
+    EXPECT_EQ(r.busyTime(), 0);
+    EXPECT_EQ(r.busyTime(2), 0);
+    EXPECT_EQ(r.completed(), 0u);
+    r.submit(5, 2);
+    sim.run();
+    EXPECT_EQ(r.busyTime(2), 5);
+}
+
+/** Property: total busy time equals the sum of submitted service times
+ *  regardless of arrival pattern. */
+class ResourceLoad : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ResourceLoad, WorkConservation)
+{
+    int jobs = GetParam();
+    Simulator sim;
+    FifoResource r(sim, "cpu");
+    Tick total = 0;
+    for (int i = 0; i < jobs; ++i) {
+        Tick cost = (i * 37) % 100;
+        total += cost;
+        sim.schedule((i * 13) % 50,
+                     [&r, cost] { r.submit(cost, cost % 3); });
+    }
+    sim.run();
+    EXPECT_EQ(r.busyTime(), total);
+    EXPECT_EQ(r.busyTime(0) + r.busyTime(1) + r.busyTime(2), total);
+    EXPECT_EQ(r.completed(), static_cast<std::uint64_t>(jobs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, ResourceLoad,
+                         ::testing::Values(1, 10, 100, 1000));
+
+TEST(FifoResource, SpeedScalesServiceTime)
+{
+    Simulator sim;
+    FifoResource r(sim, "cpu");
+    r.setSpeed(2.0);
+    std::vector<Tick> done;
+    r.submit(100, 0, [&] { done.push_back(sim.now()); });
+    sim.run();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0], 50);
+    EXPECT_EQ(r.busyTime(), 50);
+
+    FifoResource slow(sim, "slow");
+    slow.setSpeed(0.5);
+    Tick start = sim.now();
+    slow.submit(100, 0, [&] { done.push_back(sim.now()); });
+    sim.run();
+    EXPECT_EQ(done[1] - start, 200);
+}

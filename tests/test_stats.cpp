@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the statistics library.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/accumulator.hpp"
+#include "stats/histogram.hpp"
+
+using press::stats::Accumulator;
+using press::stats::LogHistogram;
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator a;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.add(x);
+    EXPECT_EQ(a.count(), 8u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.variance(), 0.0);
+    EXPECT_EQ(a.min(), 0.0);
+    EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesCombined)
+{
+    Accumulator a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        double x = std::sin(i) * 10;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty)
+{
+    Accumulator a, empty;
+    a.add(1);
+    a.add(3);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Accumulator, ResetClears)
+{
+    Accumulator a;
+    a.add(5);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(LogHistogram, BucketsPowersOfTwo)
+{
+    LogHistogram h;
+    h.add(0);   // bucket 0
+    h.add(1);   // bucket 0  [1,2)
+    h.add(2);   // bucket 1  [2,4)
+    h.add(3);   // bucket 1
+    h.add(4);   // bucket 2  [4,8)
+    h.add(1024);// bucket 10
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.bucket(10), 1u);
+    EXPECT_EQ(h.bucket(99), 0u);
+}
+
+TEST(LogHistogram, QuantilesOrdered)
+{
+    LogHistogram h;
+    for (int i = 1; i <= 10000; ++i)
+        h.add(i);
+    double q50 = h.quantile(0.5);
+    double q90 = h.quantile(0.9);
+    double q99 = h.quantile(0.99);
+    EXPECT_LE(q50, q90);
+    EXPECT_LE(q90, q99);
+    // Median of 1..10000 is ~5000; log buckets are coarse, so allow a
+    // bucket's worth of slack.
+    EXPECT_GT(q50, 2500);
+    EXPECT_LT(q50, 10000);
+}
+
+TEST(LogHistogram, NegativeClampsToZeroBucket)
+{
+    LogHistogram h;
+    h.add(-5);
+    EXPECT_EQ(h.bucket(0), 1u);
+}
+
+TEST(LogHistogram, RenderContainsCounts)
+{
+    LogHistogram h;
+    h.add(3);
+    h.add(3);
+    std::string out = h.render();
+    EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+TEST(LogHistogram, MergeAddsBuckets)
+{
+    LogHistogram a, b;
+    a.add(3);
+    a.add(100);
+    b.add(3);
+    b.add(1 << 20);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.bucket(1), 2u);  // two 3s
+    EXPECT_EQ(a.bucket(20), 1u); // the megabyte sample
+}

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Byte-exact data transfer through backed VIA regions: the library-level
+ * usage mode where registered memory owns real storage and DMA moves
+ * actual bytes. Includes a miniature version of PRESS's remote-write
+ * ring protocol (sequence number stored at the end of each fixed-size
+ * slot) to show the receiver-side polling discipline working on real
+ * data.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "via/via_nic.hpp"
+
+using namespace press;
+using via::Address;
+using via::MemoryRegistry;
+
+namespace {
+
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint8_t seed)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(seed + i * 7);
+    return v;
+}
+
+struct Rig {
+    sim::Simulator sim;
+    net::Fabric fabric{sim, net::FabricConfig::clan(), 2};
+    via::ViaNic nicA{sim, fabric, 0};
+    via::ViaNic nicB{sim, fabric, 1};
+    via::VirtualInterface *va = nullptr;
+    via::VirtualInterface *vb = nullptr;
+
+    Rig()
+    {
+        va = nicA.createVi(via::Reliability::ReliableDelivery);
+        vb = nicB.createVi(via::Reliability::ReliableDelivery);
+        via::ViaNic::connect(*va, *vb);
+    }
+};
+
+} // namespace
+
+TEST(BackedMemory, StoreFetchRoundTrip)
+{
+    MemoryRegistry reg;
+    auto r = reg.registerBacked(4096);
+    EXPECT_TRUE(reg.isBacked(r.base));
+    auto data = pattern(256, 3);
+    reg.store(r.base + 100, data);
+    EXPECT_EQ(reg.fetch(r.base + 100, 256), data);
+    // Fresh regions read back zeroed.
+    EXPECT_EQ(reg.fetch(r.base, 4)[0], 0);
+}
+
+TEST(BackedMemory, PlainRegionRejectsAccess)
+{
+    MemoryRegistry reg;
+    auto r = reg.registerMemory(4096);
+    EXPECT_FALSE(reg.isBacked(r.base));
+    auto data = pattern(8, 1);
+    EXPECT_DEATH(reg.store(r.base, data), "unbacked");
+}
+
+TEST(BackedMemory, SendMovesRealBytes)
+{
+    Rig rig;
+    auto src = rig.nicA.registerBacked(8192);
+    auto dst = rig.nicB.registerBacked(8192);
+    auto data = pattern(1000, 42);
+    rig.nicA.memory().store(src.base + 8, data);
+
+    rig.vb->postRecv(via::makeRecv(dst.base + 16, 4096));
+    rig.va->postSend(via::makeSend(src.base + 8, 1000));
+    rig.sim.run();
+
+    auto got = rig.vb->pollRecv();
+    ASSERT_TRUE(got);
+    EXPECT_EQ(got->status, via::Status::Complete);
+    EXPECT_EQ(rig.nicB.memory().fetch(dst.base + 16, 1000), data);
+}
+
+TEST(BackedMemory, RdmaWriteMovesRealBytes)
+{
+    Rig rig;
+    auto src = rig.nicA.registerBacked(8192);
+    auto dst = rig.nicB.registerBacked(8192);
+    auto data = pattern(512, 9);
+    rig.nicA.memory().store(src.base, data);
+
+    rig.va->postSend(via::makeRdmaWrite(src.base, 512, dst.base + 1024));
+    rig.sim.run();
+
+    EXPECT_EQ(rig.nicB.memory().fetch(dst.base + 1024, 512), data);
+    // Bytes outside the written range stay zero.
+    EXPECT_EQ(rig.nicB.memory().fetch(dst.base + 1023, 1)[0], 0);
+}
+
+TEST(BackedMemory, MixedBackedPlainSkipsCopy)
+{
+    Rig rig;
+    auto src = rig.nicA.registerMemory(4096); // plain
+    auto dst = rig.nicB.registerBacked(4096);
+    rig.va->postSend(via::makeRdmaWrite(src.base, 64, dst.base));
+    rig.sim.run();
+    // Transfer succeeded (metadata-level), destination bytes untouched.
+    EXPECT_EQ(rig.nicB.memory().fetch(dst.base, 64),
+              std::vector<std::uint8_t>(64, 0));
+}
+
+/**
+ * PRESS's RMW ring discipline on real bytes: fixed-size slots, payload
+ * first, sequence number in the slot's last 4 bytes. Because VIA
+ * delivers in order on one VI, a reader that sees seq == expected can
+ * trust the payload bytes before it.
+ */
+TEST(BackedMemory, SequenceNumberRingProtocol)
+{
+    constexpr std::uint64_t SlotBytes = 64;
+    constexpr int Slots = 4;
+    Rig rig;
+    auto src = rig.nicA.registerBacked(SlotBytes);
+    int writes_seen = 0;
+    auto ring = rig.nicB.registerBacked(
+        SlotBytes * Slots,
+        [&](std::uint64_t, std::uint64_t, const via::Payload &,
+            std::uint32_t) { ++writes_seen; });
+
+    auto write_slot = [&](std::uint32_t seq, std::uint8_t fill) {
+        std::vector<std::uint8_t> slot(SlotBytes, fill);
+        std::memcpy(slot.data() + SlotBytes - 4, &seq, 4);
+        rig.nicA.memory().store(src.base, slot);
+        Address target = ring.base + (seq % Slots) * SlotBytes;
+        rig.va->postSend(
+            via::makeRdmaWrite(src.base, SlotBytes, target));
+        rig.sim.run();
+    };
+
+    for (std::uint32_t seq = 0; seq < 10; ++seq) {
+        write_slot(seq, static_cast<std::uint8_t>(0xA0 + seq));
+        // Reader side: poll the expected slot's sequence word.
+        Address slot_addr = ring.base + (seq % Slots) * SlotBytes;
+        auto raw =
+            rig.nicB.memory().fetch(slot_addr + SlotBytes - 4, 4);
+        std::uint32_t got_seq;
+        std::memcpy(&got_seq, raw.data(), 4);
+        ASSERT_EQ(got_seq, seq);
+        // Payload bytes are the ones written with that sequence.
+        EXPECT_EQ(rig.nicB.memory().fetch(slot_addr, 1)[0],
+                  static_cast<std::uint8_t>(0xA0 + seq));
+    }
+    EXPECT_EQ(writes_seen, 10);
+}
+
+TEST(BackedMemory, OverwriteSemanticsOfRmwWords)
+{
+    // Flow-control words may be overwritten freely: the last write
+    // wins, exactly like real memory.
+    Rig rig;
+    auto src = rig.nicA.registerBacked(64);
+    auto word = rig.nicB.registerBacked(64);
+    for (std::uint8_t v : {1, 2, 3}) {
+        rig.nicA.memory().store(src.base, std::vector<std::uint8_t>{v});
+        rig.va->postSend(via::makeRdmaWrite(src.base, 1, word.base));
+    }
+    rig.sim.run();
+    EXPECT_EQ(rig.nicB.memory().fetch(word.base, 1)[0], 3);
+}

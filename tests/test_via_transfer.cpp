@@ -1,0 +1,333 @@
+/**
+ * @file
+ * End-to-end tests of the VIA data-transfer semantics: two-sided sends,
+ * remote memory writes, reliability levels, ordering, and completion
+ * timing — the contract PRESS's comm layer builds on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/payload.hpp"
+#include "via/via_nic.hpp"
+
+using namespace press;
+using net::makePayload;
+using net::payloadAs;
+
+namespace {
+
+struct Harness {
+    sim::Simulator sim;
+    net::Fabric fabric{sim, net::FabricConfig::clan(), 2};
+    via::ViaNic nicA{sim, fabric, 0};
+    via::ViaNic nicB{sim, fabric, 1};
+
+    via::VirtualInterface *
+    pair(via::Reliability rel, via::CompletionQueue *send_cq = nullptr,
+         via::CompletionQueue *recv_cq = nullptr,
+         via::VirtualInterface **other = nullptr)
+    {
+        auto *va = nicA.createVi(rel, send_cq);
+        auto *vb = nicB.createVi(rel, nullptr, recv_cq);
+        via::ViaNic::connect(*va, *vb);
+        if (other)
+            *other = vb;
+        return va;
+    }
+};
+
+} // namespace
+
+TEST(ViaTransfer, SendConsumesRecvAndCarriesPayload)
+{
+    Harness h;
+    via::VirtualInterface *vb = nullptr;
+    auto *va = h.pair(via::Reliability::ReliableDelivery, nullptr,
+                      nullptr, &vb);
+    auto src = h.nicA.registerMemory(4096);
+    auto dst = h.nicB.registerMemory(4096);
+    vb->postRecv(via::makeRecv(dst.base, 4096));
+
+    va->postSend(via::makeSend(src.base, 999,
+                               makePayload<std::string>("hello"), 42));
+    h.sim.run();
+
+    auto got = vb->pollRecv();
+    ASSERT_TRUE(got);
+    EXPECT_EQ(got->status, via::Status::Complete);
+    EXPECT_EQ(got->bytesDone, 999u);
+    EXPECT_EQ(got->immediate, 42u);
+    ASSERT_TRUE(got->payload);
+    EXPECT_EQ(*payloadAs<std::string>(got->payload), "hello");
+    EXPECT_EQ(vb->recvPosted(), 0u);
+
+    auto sent = va->pollSend();
+    ASSERT_TRUE(sent);
+    EXPECT_EQ(sent->status, via::Status::Complete);
+}
+
+TEST(ViaTransfer, InOrderDeliveryOnOneVi)
+{
+    Harness h;
+    via::VirtualInterface *vb = nullptr;
+    auto *va = h.pair(via::Reliability::ReliableDelivery, nullptr,
+                      nullptr, &vb);
+    auto src = h.nicA.registerMemory(1 << 20);
+    auto dst = h.nicB.registerMemory(1 << 20);
+    for (int i = 0; i < 10; ++i)
+        vb->postRecv(via::makeRecv(dst.base, 1 << 20));
+    // Mix of sizes: big messages take longer on the wire, but a single
+    // VI must still deliver strictly in post order.
+    for (int i = 0; i < 10; ++i) {
+        std::uint64_t len = (i % 2) ? 200000 : 16;
+        va->postSend(via::makeSend(src.base, len, makePayload<int>(i)));
+    }
+    h.sim.run();
+    for (int i = 0; i < 10; ++i) {
+        auto got = vb->pollRecv();
+        ASSERT_TRUE(got) << "message " << i;
+        EXPECT_EQ(*payloadAs<int>(got->payload), i);
+    }
+}
+
+TEST(ViaTransfer, ReliableOverrunBreaksConnection)
+{
+    Harness h;
+    via::VirtualInterface *vb = nullptr;
+    auto *va = h.pair(via::Reliability::ReliableDelivery, nullptr,
+                      nullptr, &vb);
+    auto src = h.nicA.registerMemory(4096);
+    // No receive descriptor posted at B.
+    va->postSend(via::makeSend(src.base, 100));
+    h.sim.run();
+    auto sent = va->pollSend();
+    ASSERT_TRUE(sent);
+    EXPECT_EQ(sent->status, via::Status::ErrorRecvOverrun);
+    EXPECT_TRUE(va->broken());
+    EXPECT_TRUE(vb->broken());
+    EXPECT_EQ(h.nicB.stats().recvOverruns, 1u);
+
+    // Subsequent sends fail with disconnect.
+    va->postSend(via::makeSend(src.base, 100));
+    h.sim.run();
+    auto again = va->pollSend();
+    ASSERT_TRUE(again);
+    EXPECT_EQ(again->status, via::Status::ErrorDisconnected);
+}
+
+TEST(ViaTransfer, UnreliableOverrunDropsSilently)
+{
+    Harness h;
+    via::VirtualInterface *vb = nullptr;
+    auto *va =
+        h.pair(via::Reliability::Unreliable, nullptr, nullptr, &vb);
+    auto src = h.nicA.registerMemory(4096);
+    va->postSend(via::makeSend(src.base, 100));
+    h.sim.run();
+    // Sender completed OK at TX time; receiver saw a drop.
+    auto sent = va->pollSend();
+    ASSERT_TRUE(sent);
+    EXPECT_EQ(sent->status, via::Status::Complete);
+    EXPECT_FALSE(va->broken());
+    EXPECT_EQ(h.nicB.stats().dropsUnreliable, 1u);
+    EXPECT_FALSE(vb->pollRecv());
+}
+
+TEST(ViaTransfer, TooSmallRecvBufferIsOverrun)
+{
+    Harness h;
+    via::VirtualInterface *vb = nullptr;
+    auto *va = h.pair(via::Reliability::ReliableDelivery, nullptr,
+                      nullptr, &vb);
+    auto src = h.nicA.registerMemory(4096);
+    auto dst = h.nicB.registerMemory(4096);
+    vb->postRecv(via::makeRecv(dst.base, 50)); // too small for 100 B
+    va->postSend(via::makeSend(src.base, 100));
+    h.sim.run();
+    auto recv = vb->pollRecv();
+    ASSERT_TRUE(recv);
+    EXPECT_EQ(recv->status, via::Status::ErrorRecvOverrun);
+    auto sent = va->pollSend();
+    ASSERT_TRUE(sent);
+    EXPECT_EQ(sent->status, via::Status::ErrorRecvOverrun);
+}
+
+TEST(ViaTransfer, RdmaWriteLandsInRemoteRegion)
+{
+    Harness h;
+    auto *va = h.pair(via::Reliability::ReliableDelivery);
+    auto src = h.nicA.registerMemory(4096);
+    std::vector<std::uint64_t> offsets;
+    auto dst = h.nicB.registerMemory(
+        8192, [&](std::uint64_t off, std::uint64_t, const via::Payload &,
+                  std::uint32_t) { offsets.push_back(off); });
+
+    va->postSend(via::makeRdmaWrite(src.base, 64, dst.base + 512));
+    va->postSend(via::makeRdmaWrite(src.base, 64, dst.base + 1024));
+    h.sim.run();
+    EXPECT_EQ(offsets, (std::vector<std::uint64_t>{512, 1024}));
+    // One-sided: no receive descriptor involved, sender completed.
+    auto s1 = va->pollSend();
+    auto s2 = va->pollSend();
+    ASSERT_TRUE(s1 && s2);
+    EXPECT_EQ(s1->status, via::Status::Complete);
+    EXPECT_EQ(s2->status, via::Status::Complete);
+    EXPECT_EQ(h.nicA.stats().rdmaWritesPosted, 2u);
+}
+
+TEST(ViaTransfer, RdmaToUnregisteredAddressFails)
+{
+    Harness h;
+    auto *va = h.pair(via::Reliability::ReliableDelivery);
+    auto src = h.nicA.registerMemory(4096);
+    va->postSend(via::makeRdmaWrite(src.base, 64, 0xbad00000));
+    h.sim.run();
+    auto sent = va->pollSend();
+    ASSERT_TRUE(sent);
+    EXPECT_EQ(sent->status, via::Status::ErrorNotRegistered);
+    EXPECT_EQ(h.nicB.stats().rdmaBadAddress, 1u);
+    EXPECT_TRUE(va->broken());
+}
+
+TEST(ViaTransfer, UnreliableSendCompletesAtTxTime)
+{
+    Harness h;
+    via::VirtualInterface *vb = nullptr;
+    auto *va =
+        h.pair(via::Reliability::Unreliable, nullptr, nullptr, &vb);
+    auto src = h.nicA.registerMemory(1 << 20);
+    auto dst = h.nicB.registerMemory(1 << 20);
+    vb->postRecv(via::makeRecv(dst.base, 1 << 20));
+
+    sim::Tick tx_complete = -1, delivered = -1;
+    va->postSend(via::makeSend(src.base, 500000));
+    // Poll-style: watch for the send completion each tick.
+    while (h.sim.step()) {
+        if (tx_complete < 0 && va->pollSend())
+            tx_complete = h.sim.now();
+        if (delivered < 0 && vb->pollRecv())
+            delivered = h.sim.now();
+    }
+    ASSERT_GE(tx_complete, 0);
+    ASSERT_GE(delivered, 0);
+    EXPECT_LT(tx_complete, delivered);
+}
+
+TEST(ViaTransfer, CompletionQueueAggregatesVis)
+{
+    Harness h;
+    via::CompletionQueue recv_cq(h.sim);
+    via::VirtualInterface *vb1 = nullptr, *vb2 = nullptr;
+    auto *va1 = h.nicA.createVi(via::Reliability::ReliableDelivery);
+    vb1 = h.nicB.createVi(via::Reliability::ReliableDelivery, nullptr,
+                          &recv_cq);
+    via::ViaNic::connect(*va1, *vb1);
+    auto *va2 = h.nicA.createVi(via::Reliability::ReliableDelivery);
+    vb2 = h.nicB.createVi(via::Reliability::ReliableDelivery, nullptr,
+                          &recv_cq);
+    via::ViaNic::connect(*va2, *vb2);
+
+    auto src = h.nicA.registerMemory(4096);
+    auto dst = h.nicB.registerMemory(4096);
+    vb1->postRecv(via::makeRecv(dst.base, 4096));
+    vb2->postRecv(via::makeRecv(dst.base, 4096));
+
+    va1->postSend(via::makeSend(src.base, 10, makePayload<int>(1)));
+    va2->postSend(via::makeSend(src.base, 10, makePayload<int>(2)));
+    h.sim.run();
+
+    EXPECT_EQ(recv_cq.pending(), 2u);
+    auto c1 = recv_cq.poll();
+    auto c2 = recv_cq.poll();
+    ASSERT_TRUE(c1 && c2);
+    EXPECT_TRUE(c1->isRecv);
+    // Each completion identifies its VI.
+    EXPECT_TRUE((c1->vi == vb1 && c2->vi == vb2) ||
+                (c1->vi == vb2 && c2->vi == vb1));
+}
+
+TEST(ViaTransfer, RegistrationCostScalesWithPages)
+{
+    Harness h;
+    auto one_page = h.nicA.registrationCost(100);
+    auto three_pages = h.nicA.registrationCost(4096 * 2 + 1);
+    EXPECT_EQ(three_pages, 3 * one_page);
+}
+
+/** Paper anchor: a 4-byte VIA/cLAN ping costs ~9 us one way (S3.2),
+ *  NIC + wire only (host post costs are charged by the server layer). */
+TEST(ViaTransfer, PaperAnchorSmallMessageLatency)
+{
+    Harness h;
+    via::VirtualInterface *vb = nullptr;
+    auto *va = h.pair(via::Reliability::ReliableDelivery, nullptr,
+                      nullptr, &vb);
+    auto src = h.nicA.registerMemory(4096);
+    auto dst = h.nicB.registerMemory(4096);
+    vb->postRecv(via::makeRecv(dst.base, 4096));
+
+    sim::Tick t0 = h.sim.now();
+    sim::Tick arrived = -1;
+    va->postSend(via::makeSend(src.base, 4));
+    while (h.sim.step())
+        if (arrived < 0 && vb->pollRecv())
+            arrived = h.sim.now();
+    ASSERT_GE(arrived, 0);
+    double us = static_cast<double>(arrived - t0) / 1000.0;
+    EXPECT_GT(us, 4.0);
+    EXPECT_LT(us, 10.0); // paper: 9 us including host costs
+}
+
+TEST(ViaTransfer, DisconnectFlushesAndBreaks)
+{
+    Harness h;
+    via::VirtualInterface *vb = nullptr;
+    auto *va = h.pair(via::Reliability::ReliableDelivery, nullptr,
+                      nullptr, &vb);
+    auto src = h.nicA.registerMemory(4096);
+    auto dst = h.nicB.registerMemory(4096);
+    vb->postRecv(via::makeRecv(dst.base, 4096));
+    vb->postRecv(via::makeRecv(dst.base, 4096));
+
+    via::ViaNic::disconnect(*va);
+    EXPECT_TRUE(va->broken());
+    EXPECT_TRUE(vb->broken());
+    // Both posted receives come back flushed.
+    auto r1 = vb->pollRecv();
+    auto r2 = vb->pollRecv();
+    ASSERT_TRUE(r1 && r2);
+    EXPECT_EQ(r1->status, via::Status::ErrorFlushed);
+    EXPECT_EQ(r2->status, via::Status::ErrorFlushed);
+    // Posting after disconnect fails immediately.
+    va->postSend(via::makeSend(src.base, 10));
+    auto s = va->pollSend();
+    ASSERT_TRUE(s);
+    EXPECT_EQ(s->status, via::Status::ErrorDisconnected);
+}
+
+TEST(ViaTransfer, InFlightTrafficDiscardedOnDisconnect)
+{
+    Harness h;
+    via::VirtualInterface *vb = nullptr;
+    auto *va = h.pair(via::Reliability::ReliableDelivery, nullptr,
+                      nullptr, &vb);
+    auto src = h.nicA.registerMemory(1 << 20);
+    auto dst = h.nicB.registerMemory(1 << 20);
+    vb->postRecv(via::makeRecv(dst.base, 1 << 20));
+    // Launch a large transfer, then disconnect while it is in flight.
+    va->postSend(via::makeSend(src.base, 500000));
+    h.sim.step(); // let the NIC start
+    via::ViaNic::disconnect(*vb);
+    h.sim.run();
+    auto sent = va->pollSend();
+    ASSERT_TRUE(sent);
+    EXPECT_EQ(sent->status, via::Status::ErrorDisconnected);
+    // The flushed receive descriptor, not a data arrival.
+    auto recv = vb->pollRecv();
+    ASSERT_TRUE(recv);
+    EXPECT_EQ(recv->status, via::Status::ErrorFlushed);
+    EXPECT_FALSE(vb->pollRecv());
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the Common Log Format importer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/clf.hpp"
+
+using namespace press::workload;
+
+TEST(ClfParse, StandardLine)
+{
+    auto r = parseClfLine(
+        R"(wpbfl2-45.gate.net - - [01/Jul/1995:00:00:06 -0400] "GET /images/ksclogo-medium.gif HTTP/1.0" 200 5866)");
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->method, "GET");
+    EXPECT_EQ(r->path, "/images/ksclogo-medium.gif");
+    EXPECT_EQ(r->status, 200);
+    EXPECT_EQ(r->bytes, 5866u);
+}
+
+TEST(ClfParse, QueryStringStripped)
+{
+    auto r = parseClfLine(
+        R"(h - - [d] "GET /cgi-bin/search?q=via&x=1 HTTP/1.0" 200 1234)");
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->path, "/cgi-bin/search");
+}
+
+TEST(ClfParse, MissingProtocolVersionTolerated)
+{
+    // HTTP/0.9-era logs omit the protocol field.
+    auto r = parseClfLine(R"(h - - [d] "GET /index.html" 200 100)");
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->path, "/index.html");
+    EXPECT_EQ(r->bytes, 100u);
+}
+
+TEST(ClfParse, DashBytesMeansZero)
+{
+    auto r = parseClfLine(R"(h - - [d] "GET /x HTTP/1.0" 304 -)");
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->status, 304);
+    EXPECT_EQ(r->bytes, 0u);
+}
+
+TEST(ClfParse, MalformedLinesRejected)
+{
+    EXPECT_FALSE(parseClfLine(""));
+    EXPECT_FALSE(parseClfLine("no quotes here 200 123"));
+    EXPECT_FALSE(parseClfLine(R"(h - - [d] "GET /x HTTP/1.0" abc 12)"));
+    EXPECT_FALSE(parseClfLine(R"(h - - [d] "" 200 12)"));
+    EXPECT_FALSE(parseClfLine(R"(h - - [d] "GETNOSPACE" 200 12)"));
+}
+
+TEST(ClfImport, FiltersLikeThePaper)
+{
+    std::stringstream log;
+    log << R"(a - - [d] "GET /a.html HTTP/1.0" 200 1000)" << "\n"
+        << R"(b - - [d] "GET /a.html HTTP/1.0" 200 1000)" << "\n"
+        << R"(c - - [d] "GET /b.gif HTTP/1.0" 200 2000)" << "\n"
+        << R"(d - - [d] "GET /a.html HTTP/1.0" 304 -)" << "\n"     // drop
+        << R"(e - - [d] "POST /cgi HTTP/1.0" 200 10)" << "\n"      // drop
+        << R"(f - - [d] "GET /missing HTTP/1.0" 404 200)" << "\n"  // drop
+        << "garbage line\n";                                       // bad
+
+    ClfImportStats stats;
+    Trace t = importClf(log, "test", &stats);
+    EXPECT_EQ(stats.lines, 7u);
+    EXPECT_EQ(stats.malformed, 1u);
+    EXPECT_EQ(stats.dropped, 3u);
+    EXPECT_EQ(stats.accepted, 3u);
+    EXPECT_EQ(t.files.count(), 2u);
+    EXPECT_EQ(t.requests.size(), 3u);
+    // /a.html requested twice, /b.gif once; sizes as logged.
+    EXPECT_EQ(t.files.size(t.requests[0]), 1000u);
+    EXPECT_EQ(t.files.size(t.requests[2]), 2000u);
+}
+
+TEST(ClfImport, LargestTransferWinsPerPath)
+{
+    std::stringstream log;
+    log << R"(a - - [d] "GET /f HTTP/1.0" 200 500)" << "\n"
+        << R"(a - - [d] "GET /f HTTP/1.0" 200 900)" << "\n"
+        << R"(a - - [d] "GET /f HTTP/1.0" 200 700)" << "\n";
+    Trace t = importClf(log, "t");
+    ASSERT_EQ(t.files.count(), 1u);
+    EXPECT_EQ(t.files.size(0), 900u);
+}
+
+TEST(ClfImport, RoundTripsThroughTraceFormat)
+{
+    std::stringstream log;
+    for (int i = 0; i < 50; ++i)
+        log << "h - - [d] \"GET /f" << (i % 7)
+            << ".html HTTP/1.0\" 200 " << 1000 + i << "\n";
+    Trace t = importClf(log, "rt");
+    std::stringstream buf;
+    t.save(buf);
+    Trace u = Trace::load(buf);
+    EXPECT_EQ(u.requests, t.requests);
+    EXPECT_EQ(u.files.count(), t.files.count());
+}
