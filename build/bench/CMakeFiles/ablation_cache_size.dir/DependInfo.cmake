@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_cache_size.cpp" "bench/CMakeFiles/ablation_cache_size.dir/ablation_cache_size.cpp.o" "gcc" "bench/CMakeFiles/ablation_cache_size.dir/ablation_cache_size.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/press_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/press_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/via/CMakeFiles/press_via.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpnet/CMakeFiles/press_tcpnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/osnode/CMakeFiles/press_osnode.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/press_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/press_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/press_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/press_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/press_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/press_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/press_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/press_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flow_window.dir/ablation_flow_window.cpp.o"
+  "CMakeFiles/ablation_flow_window.dir/ablation_flow_window.cpp.o.d"
+  "ablation_flow_window"
+  "ablation_flow_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flow_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_micro.dir/comm_micro.cpp.o"
+  "CMakeFiles/comm_micro.dir/comm_micro.cpp.o.d"
+  "comm_micro"
+  "comm_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_rmw_hitrate.dir/fig10_rmw_hitrate.cpp.o"
+  "CMakeFiles/fig10_rmw_hitrate.dir/fig10_rmw_hitrate.cpp.o.d"
+  "fig10_rmw_hitrate"
+  "fig10_rmw_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_rmw_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

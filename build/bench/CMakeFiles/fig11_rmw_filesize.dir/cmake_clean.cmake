@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_rmw_filesize.dir/fig11_rmw_filesize.cpp.o"
+  "CMakeFiles/fig11_rmw_filesize.dir/fig11_rmw_filesize.cpp.o.d"
+  "fig11_rmw_filesize"
+  "fig11_rmw_filesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_rmw_filesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

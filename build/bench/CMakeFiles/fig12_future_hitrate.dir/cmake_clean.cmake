@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_future_hitrate.dir/fig12_future_hitrate.cpp.o"
+  "CMakeFiles/fig12_future_hitrate.dir/fig12_future_hitrate.cpp.o.d"
+  "fig12_future_hitrate"
+  "fig12_future_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_future_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_future_filesize.dir/fig13_future_filesize.cpp.o"
+  "CMakeFiles/fig13_future_filesize.dir/fig13_future_filesize.cpp.o.d"
+  "fig13_future_filesize"
+  "fig13_future_filesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_future_filesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_protocols.dir/fig3_protocols.cpp.o"
+  "CMakeFiles/fig3_protocols.dir/fig3_protocols.cpp.o.d"
+  "fig3_protocols"
+  "fig3_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_dissemination.dir/fig4_dissemination.cpp.o"
+  "CMakeFiles/fig4_dissemination.dir/fig4_dissemination.cpp.o.d"
+  "fig4_dissemination"
+  "fig4_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

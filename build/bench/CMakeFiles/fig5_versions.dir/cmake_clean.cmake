@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_versions.dir/fig5_versions.cpp.o"
+  "CMakeFiles/fig5_versions.dir/fig5_versions.cpp.o.d"
+  "fig5_versions"
+  "fig5_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_summary.dir/fig6_summary.cpp.o"
+  "CMakeFiles/fig6_summary.dir/fig6_summary.cpp.o.d"
+  "fig6_summary"
+  "fig6_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

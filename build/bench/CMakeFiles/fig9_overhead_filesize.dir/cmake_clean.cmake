@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_overhead_filesize.dir/fig9_overhead_filesize.cpp.o"
+  "CMakeFiles/fig9_overhead_filesize.dir/fig9_overhead_filesize.cpp.o.d"
+  "fig9_overhead_filesize"
+  "fig9_overhead_filesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_overhead_filesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

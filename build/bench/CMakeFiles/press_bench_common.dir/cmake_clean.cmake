@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/press_bench_common.dir/bench_common.cpp.o.d"
+  "libpress_bench_common.a"
+  "libpress_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

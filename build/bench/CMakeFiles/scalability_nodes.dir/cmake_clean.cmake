@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalability_nodes.dir/scalability_nodes.cpp.o"
+  "CMakeFiles/scalability_nodes.dir/scalability_nodes.cpp.o.d"
+  "scalability_nodes"
+  "scalability_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

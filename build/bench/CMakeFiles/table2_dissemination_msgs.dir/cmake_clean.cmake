@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_dissemination_msgs.dir/table2_dissemination_msgs.cpp.o"
+  "CMakeFiles/table2_dissemination_msgs.dir/table2_dissemination_msgs.cpp.o.d"
+  "table2_dissemination_msgs"
+  "table2_dissemination_msgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_dissemination_msgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

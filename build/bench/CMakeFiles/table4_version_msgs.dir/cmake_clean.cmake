@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_version_msgs.dir/table4_version_msgs.cpp.o"
+  "CMakeFiles/table4_version_msgs.dir/table4_version_msgs.cpp.o.d"
+  "table4_version_msgs"
+  "table4_version_msgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_version_msgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clf_convert.dir/clf_convert.cpp.o"
+  "CMakeFiles/clf_convert.dir/clf_convert.cpp.o.d"
+  "clf_convert"
+  "clf_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clf_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coop_cache.dir/coop_cache.cpp.o"
+  "CMakeFiles/coop_cache.dir/coop_cache.cpp.o.d"
+  "coop_cache"
+  "coop_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coop_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_sweep.dir/press_sweep.cpp.o"
+  "CMakeFiles/press_sweep.dir/press_sweep.cpp.o.d"
+  "press_sweep"
+  "press_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

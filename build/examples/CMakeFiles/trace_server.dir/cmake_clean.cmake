@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_server.dir/trace_server.cpp.o"
+  "CMakeFiles/trace_server.dir/trace_server.cpp.o.d"
+  "trace_server"
+  "trace_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

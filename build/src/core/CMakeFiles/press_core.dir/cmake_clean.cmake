@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_core.dir/cluster.cpp.o"
+  "CMakeFiles/press_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/press_core.dir/comm.cpp.o"
+  "CMakeFiles/press_core.dir/comm.cpp.o.d"
+  "CMakeFiles/press_core.dir/config.cpp.o"
+  "CMakeFiles/press_core.dir/config.cpp.o.d"
+  "CMakeFiles/press_core.dir/directories.cpp.o"
+  "CMakeFiles/press_core.dir/directories.cpp.o.d"
+  "CMakeFiles/press_core.dir/messages.cpp.o"
+  "CMakeFiles/press_core.dir/messages.cpp.o.d"
+  "CMakeFiles/press_core.dir/press_server.cpp.o"
+  "CMakeFiles/press_core.dir/press_server.cpp.o.d"
+  "CMakeFiles/press_core.dir/tcp_comm.cpp.o"
+  "CMakeFiles/press_core.dir/tcp_comm.cpp.o.d"
+  "CMakeFiles/press_core.dir/via_comm.cpp.o"
+  "CMakeFiles/press_core.dir/via_comm.cpp.o.d"
+  "libpress_core.a"
+  "libpress_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

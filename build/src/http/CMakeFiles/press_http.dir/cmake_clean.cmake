@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_http.dir/message.cpp.o"
+  "CMakeFiles/press_http.dir/message.cpp.o.d"
+  "CMakeFiles/press_http.dir/mime.cpp.o"
+  "CMakeFiles/press_http.dir/mime.cpp.o.d"
+  "CMakeFiles/press_http.dir/url.cpp.o"
+  "CMakeFiles/press_http.dir/url.cpp.o.d"
+  "libpress_http.a"
+  "libpress_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

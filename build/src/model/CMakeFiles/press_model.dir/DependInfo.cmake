@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/params.cpp" "src/model/CMakeFiles/press_model.dir/params.cpp.o" "gcc" "src/model/CMakeFiles/press_model.dir/params.cpp.o.d"
+  "/root/repo/src/model/press_model.cpp" "src/model/CMakeFiles/press_model.dir/press_model.cpp.o" "gcc" "src/model/CMakeFiles/press_model.dir/press_model.cpp.o.d"
+  "/root/repo/src/model/zipf_math.cpp" "src/model/CMakeFiles/press_model.dir/zipf_math.cpp.o" "gcc" "src/model/CMakeFiles/press_model.dir/zipf_math.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/press_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_model.dir/params.cpp.o"
+  "CMakeFiles/press_model.dir/params.cpp.o.d"
+  "CMakeFiles/press_model.dir/press_model.cpp.o"
+  "CMakeFiles/press_model.dir/press_model.cpp.o.d"
+  "CMakeFiles/press_model.dir/zipf_math.cpp.o"
+  "CMakeFiles/press_model.dir/zipf_math.cpp.o.d"
+  "libpress_model.a"
+  "libpress_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

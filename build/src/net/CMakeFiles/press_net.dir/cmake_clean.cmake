@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_net.dir/fabric.cpp.o"
+  "CMakeFiles/press_net.dir/fabric.cpp.o.d"
+  "libpress_net.a"
+  "libpress_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

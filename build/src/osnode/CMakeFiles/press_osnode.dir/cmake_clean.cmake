@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_osnode.dir/disk.cpp.o"
+  "CMakeFiles/press_osnode.dir/disk.cpp.o.d"
+  "CMakeFiles/press_osnode.dir/node.cpp.o"
+  "CMakeFiles/press_osnode.dir/node.cpp.o.d"
+  "libpress_osnode.a"
+  "libpress_osnode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_osnode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

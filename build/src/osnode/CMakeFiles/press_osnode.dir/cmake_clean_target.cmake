@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpress_osnode.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/press_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/press_sim.dir/resource.cpp.o"
+  "CMakeFiles/press_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/press_sim.dir/simulator.cpp.o"
+  "CMakeFiles/press_sim.dir/simulator.cpp.o.d"
+  "libpress_sim.a"
+  "libpress_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_stats.dir/accumulator.cpp.o"
+  "CMakeFiles/press_stats.dir/accumulator.cpp.o.d"
+  "CMakeFiles/press_stats.dir/histogram.cpp.o"
+  "CMakeFiles/press_stats.dir/histogram.cpp.o.d"
+  "libpress_stats.a"
+  "libpress_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_storage.dir/file_cache.cpp.o"
+  "CMakeFiles/press_storage.dir/file_cache.cpp.o.d"
+  "CMakeFiles/press_storage.dir/file_set.cpp.o"
+  "CMakeFiles/press_storage.dir/file_set.cpp.o.d"
+  "libpress_storage.a"
+  "libpress_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

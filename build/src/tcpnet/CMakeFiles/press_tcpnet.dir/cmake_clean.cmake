@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_tcpnet.dir/tcp_stack.cpp.o"
+  "CMakeFiles/press_tcpnet.dir/tcp_stack.cpp.o.d"
+  "libpress_tcpnet.a"
+  "libpress_tcpnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_tcpnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

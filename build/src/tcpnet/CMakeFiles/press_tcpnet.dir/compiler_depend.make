@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for press_tcpnet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_util.dir/logging.cpp.o"
+  "CMakeFiles/press_util.dir/logging.cpp.o.d"
+  "CMakeFiles/press_util.dir/random.cpp.o"
+  "CMakeFiles/press_util.dir/random.cpp.o.d"
+  "CMakeFiles/press_util.dir/table.cpp.o"
+  "CMakeFiles/press_util.dir/table.cpp.o.d"
+  "libpress_util.a"
+  "libpress_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/via/completion_queue.cpp" "src/via/CMakeFiles/press_via.dir/completion_queue.cpp.o" "gcc" "src/via/CMakeFiles/press_via.dir/completion_queue.cpp.o.d"
+  "/root/repo/src/via/descriptor.cpp" "src/via/CMakeFiles/press_via.dir/descriptor.cpp.o" "gcc" "src/via/CMakeFiles/press_via.dir/descriptor.cpp.o.d"
+  "/root/repo/src/via/memory.cpp" "src/via/CMakeFiles/press_via.dir/memory.cpp.o" "gcc" "src/via/CMakeFiles/press_via.dir/memory.cpp.o.d"
+  "/root/repo/src/via/via_nic.cpp" "src/via/CMakeFiles/press_via.dir/via_nic.cpp.o" "gcc" "src/via/CMakeFiles/press_via.dir/via_nic.cpp.o.d"
+  "/root/repo/src/via/virtual_interface.cpp" "src/via/CMakeFiles/press_via.dir/virtual_interface.cpp.o" "gcc" "src/via/CMakeFiles/press_via.dir/virtual_interface.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/press_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/press_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/press_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_via.dir/completion_queue.cpp.o"
+  "CMakeFiles/press_via.dir/completion_queue.cpp.o.d"
+  "CMakeFiles/press_via.dir/descriptor.cpp.o"
+  "CMakeFiles/press_via.dir/descriptor.cpp.o.d"
+  "CMakeFiles/press_via.dir/memory.cpp.o"
+  "CMakeFiles/press_via.dir/memory.cpp.o.d"
+  "CMakeFiles/press_via.dir/via_nic.cpp.o"
+  "CMakeFiles/press_via.dir/via_nic.cpp.o.d"
+  "CMakeFiles/press_via.dir/virtual_interface.cpp.o"
+  "CMakeFiles/press_via.dir/virtual_interface.cpp.o.d"
+  "libpress_via.a"
+  "libpress_via.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_via.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

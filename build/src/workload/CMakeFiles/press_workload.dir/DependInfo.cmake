@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/clf.cpp" "src/workload/CMakeFiles/press_workload.dir/clf.cpp.o" "gcc" "src/workload/CMakeFiles/press_workload.dir/clf.cpp.o.d"
+  "/root/repo/src/workload/site_map.cpp" "src/workload/CMakeFiles/press_workload.dir/site_map.cpp.o" "gcc" "src/workload/CMakeFiles/press_workload.dir/site_map.cpp.o.d"
+  "/root/repo/src/workload/stack_distance.cpp" "src/workload/CMakeFiles/press_workload.dir/stack_distance.cpp.o" "gcc" "src/workload/CMakeFiles/press_workload.dir/stack_distance.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/press_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/press_workload.dir/trace.cpp.o.d"
+  "/root/repo/src/workload/trace_gen.cpp" "src/workload/CMakeFiles/press_workload.dir/trace_gen.cpp.o" "gcc" "src/workload/CMakeFiles/press_workload.dir/trace_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/press_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/press_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_workload.dir/clf.cpp.o"
+  "CMakeFiles/press_workload.dir/clf.cpp.o.d"
+  "CMakeFiles/press_workload.dir/site_map.cpp.o"
+  "CMakeFiles/press_workload.dir/site_map.cpp.o.d"
+  "CMakeFiles/press_workload.dir/stack_distance.cpp.o"
+  "CMakeFiles/press_workload.dir/stack_distance.cpp.o.d"
+  "CMakeFiles/press_workload.dir/trace.cpp.o"
+  "CMakeFiles/press_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/press_workload.dir/trace_gen.cpp.o"
+  "CMakeFiles/press_workload.dir/trace_gen.cpp.o.d"
+  "libpress_workload.a"
+  "libpress_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

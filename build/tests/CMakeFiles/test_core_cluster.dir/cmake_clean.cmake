@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_cluster.dir/test_core_cluster.cpp.o"
+  "CMakeFiles/test_core_cluster.dir/test_core_cluster.cpp.o.d"
+  "test_core_cluster"
+  "test_core_cluster.pdb"
+  "test_core_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

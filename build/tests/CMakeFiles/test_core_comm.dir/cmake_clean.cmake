@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_comm.dir/test_core_comm.cpp.o"
+  "CMakeFiles/test_core_comm.dir/test_core_comm.cpp.o.d"
+  "test_core_comm"
+  "test_core_comm.pdb"
+  "test_core_comm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_credit.dir/test_core_credit.cpp.o"
+  "CMakeFiles/test_core_credit.dir/test_core_credit.cpp.o.d"
+  "test_core_credit"
+  "test_core_credit.pdb"
+  "test_core_credit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_credit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

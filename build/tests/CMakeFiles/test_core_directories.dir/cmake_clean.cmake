@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_directories.dir/test_core_directories.cpp.o"
+  "CMakeFiles/test_core_directories.dir/test_core_directories.cpp.o.d"
+  "test_core_directories"
+  "test_core_directories.pdb"
+  "test_core_directories[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_directories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_server.dir/test_core_server.cpp.o"
+  "CMakeFiles/test_core_server.dir/test_core_server.cpp.o.d"
+  "test_core_server"
+  "test_core_server.pdb"
+  "test_core_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_osnode.dir/test_osnode.cpp.o"
+  "CMakeFiles/test_osnode.dir/test_osnode.cpp.o.d"
+  "test_osnode"
+  "test_osnode.pdb"
+  "test_osnode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_osnode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcpnet.dir/test_tcpnet.cpp.o"
+  "CMakeFiles/test_tcpnet.dir/test_tcpnet.cpp.o.d"
+  "test_tcpnet"
+  "test_tcpnet.pdb"
+  "test_tcpnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcpnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_via_backed.dir/test_via_backed.cpp.o"
+  "CMakeFiles/test_via_backed.dir/test_via_backed.cpp.o.d"
+  "test_via_backed"
+  "test_via_backed.pdb"
+  "test_via_backed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_via_backed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_via_memory.dir/test_via_memory.cpp.o"
+  "CMakeFiles/test_via_memory.dir/test_via_memory.cpp.o.d"
+  "test_via_memory"
+  "test_via_memory.pdb"
+  "test_via_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_via_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

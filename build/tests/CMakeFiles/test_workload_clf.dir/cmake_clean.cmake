@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_clf.dir/test_workload_clf.cpp.o"
+  "CMakeFiles/test_workload_clf.dir/test_workload_clf.cpp.o.d"
+  "test_workload_clf"
+  "test_workload_clf.pdb"
+  "test_workload_clf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_clf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util_random[1]_include.cmake")
+include("/root/repo/build/tests/test_util_table[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_resource[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_net_fabric[1]_include.cmake")
+include("/root/repo/build/tests/test_via_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_via_queues[1]_include.cmake")
+include("/root/repo/build/tests/test_via_transfer[1]_include.cmake")
+include("/root/repo/build/tests/test_tcpnet[1]_include.cmake")
+include("/root/repo/build/tests/test_osnode[1]_include.cmake")
+include("/root/repo/build/tests/test_storage[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_core_directories[1]_include.cmake")
+include("/root/repo/build/tests/test_core_credit[1]_include.cmake")
+include("/root/repo/build/tests/test_core_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_core_server[1]_include.cmake")
+include("/root/repo/build/tests/test_core_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_core_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_http[1]_include.cmake")
+include("/root/repo/build/tests/test_core_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_via_backed[1]_include.cmake")
+include("/root/repo/build/tests/test_core_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_workload_clf[1]_include.cmake")
