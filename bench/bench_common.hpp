@@ -3,8 +3,8 @@
  * Shared harness for the paper-reproduction benches.
  *
  * Every bench binary reproduces one table or figure of the paper. By
- * default traces are replayed with a request cap that keeps a full
- * `for b in build/bench/*; do $b; done` sweep in the minutes range;
+ * default traces are replayed with a request cap that keeps a sweep
+ * over every binary in build/bench in the minutes range;
  * pass --full for the complete traces (paper-scale, slower) or --quick
  * for a fast smoke run.
  */

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# The CI entry point: one command that proves the tree is healthy.
+#
+#   (a) tier-1 build + full ctest, with the VIA invariant checker on
+#   (b) AddressSanitizer + UBSan build + full ctest, checker still on
+#   (c) lint pass (clang-tidy when available + project grep bans)
+#
+# Usage: scripts/check.sh [stage...]
+#   stage  any of: tier1 asan lint (default: all three, in that order)
+#
+# Separate build trees (build/, build-asan/) keep the sanitizer
+# instrumentation out of the regular binaries.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ $# -eq 0 ]; then
+    STAGES=(tier1 asan lint)
+else
+    STAGES=("$@")
+fi
+
+# Every simulation run in both ctest passes executes fully checked:
+# the first VIA protocol violation aborts the offending test.
+export PRESS_CHECK="${PRESS_CHECK:-1}"
+
+run_stage() {
+    echo
+    echo "===== check.sh: $1 ====="
+}
+
+for stage in "${STAGES[@]}"; do
+    case "$stage" in
+    tier1)
+        run_stage "tier-1 build + ctest (PRESS_CHECK=$PRESS_CHECK)"
+        cmake -B build -S . -G Ninja -DPRESS_WERROR=ON
+        cmake --build build -j "$(nproc)"
+        ctest --test-dir build -j "$(nproc)" --output-on-failure
+        ;;
+    asan)
+        run_stage "ASan+UBSan build + ctest (PRESS_CHECK=$PRESS_CHECK)"
+        cmake -B build-asan -S . -G Ninja \
+            -DPRESS_SANITIZE="address;undefined" -DPRESS_WERROR=ON
+        cmake --build build-asan -j "$(nproc)"
+        # abort_on_error makes ASan findings fail the test like a panic;
+        # detect_leaks stays on (the default) to catch ownership slips.
+        ASAN_OPTIONS="abort_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+            ctest --test-dir build-asan -j "$(nproc)" --output-on-failure
+        ;;
+    lint)
+        run_stage "lint"
+        scripts/lint.sh build
+        ;;
+    *)
+        echo "check.sh: unknown stage '$stage' (want tier1|asan|lint)" >&2
+        exit 2
+        ;;
+    esac
+done
+
+echo
+echo "check.sh: all stages passed"

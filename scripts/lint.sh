@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Lint pass: clang-tidy over src/ (when the tool is available) plus
+# grep-enforced project bans that clang-tidy has no check for.
+#
+# Usage: scripts/lint.sh [build-dir]
+#   build-dir  tree holding compile_commands.json (default: build;
+#              configured automatically when missing)
+#
+# Exit status is non-zero when any lint finding or banned pattern is
+# present, so CI can gate on it. scripts/check.sh runs this as stage (c).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+FAILED=0
+
+# ---------------------------------------------------------------- tidy
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+    echo "lint: configuring $BUILD to produce compile_commands.json"
+    cmake -B "$BUILD" -S . -G Ninja \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if command -v "$TIDY" >/dev/null 2>&1; then
+    echo "lint: running $TIDY over src/ (config: .clang-tidy)"
+    mapfile -t sources < <(find src -name '*.cpp' | sort)
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+        run-clang-tidy -quiet -p "$BUILD" "${sources[@]}" || FAILED=1
+    else
+        "$TIDY" -p "$BUILD" --quiet "${sources[@]}" || FAILED=1
+    fi
+else
+    # The container image bakes in gcc only; the config still gates CI
+    # machines that do have clang-tidy.
+    echo "lint: $TIDY not found, skipping the clang-tidy stage" \
+         "(grep bans still run)"
+fi
+
+# ------------------------------------------------------- project bans
+# ban <name> <pattern> <exclude-regex (<none> = nothing excluded)> <why>
+ban() {
+    local name="$1" pattern="$2" exclude="$3" why="$4"
+    local hits
+    hits=$(grep -rnE "$pattern" src/ | grep -vE "$exclude" || true)
+    if [ -n "$hits" ]; then
+        echo "lint: BANNED pattern '$name' ($why):"
+        echo "$hits" | sed 's/^/  /'
+        FAILED=1
+    fi
+}
+
+# The simulator must be deterministic and seedable: util::Rng only.
+ban "std::rand" '(std::rand|[^a-z_]s?rand)\(' 'src/util/random' \
+    "use util::Rng; libc rand is global state and ruins determinism"
+
+# Ownership is smart-pointer based. new is allowed only immediately
+# wrapped (the private-constructor make_unique workaround).
+ban "raw new" '\bnew [A-Z_]' '_ptr<[^>]*>\(new |:[0-9]+: *(\*|//)' \
+    "wrap allocations in std::make_unique or an owning smart pointer"
+
+# iostream in hot paths: everything funnels through util/logging.
+ban "iostream include" '#include <iostream>' 'src/util/logging' \
+    "include util/logging.hpp instead; iostream belongs to the logger"
+
+# std::endl flushes; the logger is the only place allowed to flush.
+ban "std::endl" 'std::endl' 'src/util/logging' \
+    "use \\n; flushing in the simulation loop serializes on the TTY"
+
+# Manual memory management.
+ban "malloc/free" '\b(malloc|calloc|realloc|free)\(' '<none>' \
+    "the codebase is RAII-only"
+
+if [ "$FAILED" -ne 0 ]; then
+    echo "lint: FAILED"
+    exit 1
+fi
+echo "lint: OK"

@@ -3,10 +3,25 @@
 #
 # Usage: scripts/reproduce.sh [--full]
 #   --full  replay complete traces (paper scale; much slower)
+#
+# Environment:
+#   PRESS_CHECK=1       run everything with the VIA invariant checker on
+#                       (abort on the first protocol violation); =record
+#                       accumulates reports instead of aborting.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FULL="${1:-}"
+
+case "${PRESS_CHECK:-}" in
+"" | 0 | off) ;;
+*)
+    # core::viaCheckDefault() reads this; exporting it turns the checker
+    # on in every test and benchmark without rebuilding.
+    export PRESS_CHECK
+    echo "reproduce: VIA invariant checker enabled (PRESS_CHECK=$PRESS_CHECK)"
+    ;;
+esac
 
 cmake -B build -G Ninja
 cmake --build build
@@ -15,7 +30,7 @@ ctest --test-dir build -j "$(nproc)" 2>&1 | tee test_output.txt
 
 : > bench_output.txt
 for b in build/bench/*; do
-    [ -x "$b" ] || continue
+    [ -f "$b" ] && [ -x "$b" ] || continue
     echo "##### $(basename "$b") #####" | tee -a bench_output.txt
     if [ "$FULL" = "--full" ]; then
         "$b" --full 2>&1 | tee -a bench_output.txt

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "check/via_checker.hpp"
 #include "core/tcp_comm.hpp"
 #include "core/via_comm.hpp"
 #include "http/message.hpp"
@@ -25,6 +26,15 @@ PressCluster::dumpStats(std::ostream &os) const
     os << "sim.now_s " << sim::nsToSeconds(_sim.now()) << "\n";
     os << "sim.events " << _sim.eventsExecuted() << "\n";
     os << "clients.bad_requests " << _badRequests << "\n";
+    if (_viaChecker) {
+        os << "check.mode "
+           << (_viaChecker->mode() == check::CheckMode::Record ? "record"
+                                                               : "abort")
+           << "\n";
+        os << "check.checks " << _viaChecker->checksPerformed() << "\n";
+        os << "check.violations " << _viaChecker->totalViolations()
+           << "\n";
+    }
     for (int i = 0; i < _config.nodes; ++i) {
         const auto &node = *_nodes[i];
         std::string p = "node" + std::to_string(i) + ".";
@@ -117,10 +127,19 @@ PressCluster::PressCluster(const PressConfig &config,
 
     // Intra-cluster communication.
     if (_config.protocol == Protocol::ViaClan) {
+        // One cluster-wide checker watches every NIC, so cross-node
+        // invariants (remote-write targets) and the report share one
+        // place.
+        if (_config.viaCheck != ViaCheck::Off)
+            _viaChecker = std::make_unique<check::ViaChecker>(
+                _sim, _config.viaCheck == ViaCheck::Record
+                          ? check::CheckMode::Record
+                          : check::CheckMode::Abort);
         std::vector<std::unique_ptr<ViaComm>> vias;
         for (int i = 0; i < _config.nodes; ++i)
             vias.push_back(std::make_unique<ViaComm>(
-                _sim, i, _config, _nodes[i]->cpu(), *_internal));
+                _sim, i, _config, _nodes[i]->cpu(), *_internal,
+                _viaChecker.get()));
         ViaComm::linkMesh(vias);
         for (auto &v : vias)
             _comms.push_back(std::move(v));

@@ -29,6 +29,10 @@
 #include "workload/site_map.hpp"
 #include "workload/trace.hpp"
 
+namespace press::check {
+class ViaChecker;
+}
+
 namespace press::core {
 
 /** Everything a run measures (the quantities behind Figures 1 and 3-6
@@ -101,6 +105,10 @@ class PressCluster
     const workload::SiteMap &siteMap() const { return _site; }
     /** @} */
 
+    /** The cluster-wide VIA invariant checker; null unless the config
+     *  enables checking and the protocol is VIA/cLAN. */
+    const check::ViaChecker *viaChecker() const { return _viaChecker.get(); }
+
     /** HTTP requests that failed to parse or resolve (0 for generated
      *  clients; exposed for fault-injection tests). */
     std::uint64_t badRequests() const { return _badRequests; }
@@ -120,6 +128,7 @@ class PressCluster
     sim::Simulator _sim;
     std::unique_ptr<net::Fabric> _internal;
     std::unique_ptr<net::Fabric> _external;
+    std::unique_ptr<check::ViaChecker> _viaChecker;
     std::vector<std::unique_ptr<osnode::Node>> _nodes;
     std::vector<std::unique_ptr<ClusterComm>> _comms;
     std::vector<std::unique_ptr<PressServer>> _servers;

@@ -1,5 +1,8 @@
 #include "config.hpp"
 
+#include <cstdlib>
+#include <string_view>
+
 namespace press::core {
 
 const char *
@@ -28,6 +31,34 @@ distributionName(Distribution d)
         return "LARD";
     }
     return "?";
+}
+
+const char *
+viaCheckName(ViaCheck c)
+{
+    switch (c) {
+      case ViaCheck::Off:
+        return "off";
+      case ViaCheck::Abort:
+        return "abort";
+      case ViaCheck::Record:
+        return "record";
+    }
+    return "?";
+}
+
+ViaCheck
+viaCheckDefault()
+{
+    const char *env = std::getenv("PRESS_CHECK");
+    if (!env)
+        return ViaCheck::Off;
+    std::string_view v(env);
+    if (v.empty() || v == "0" || v == "off")
+        return ViaCheck::Off;
+    if (v == "record" || v == "report")
+        return ViaCheck::Record;
+    return ViaCheck::Abort;
 }
 
 const char *

@@ -66,6 +66,27 @@ enum class Distribution {
 
 const char *distributionName(Distribution d);
 
+/**
+ * VIA protocol-invariant checking (check::ViaChecker). Off costs
+ * nothing; Abort panics with a structured report on the first violation
+ * (the CI mode); Record accumulates reports for inspection.
+ */
+enum class ViaCheck {
+    Off,
+    Abort,
+    Record,
+};
+
+const char *viaCheckName(ViaCheck c);
+
+/**
+ * Default checking level from the PRESS_CHECK environment variable:
+ * unset/"0"/"off" = Off, "record"/"report" = Record, anything else
+ * (e.g. "1") = Abort. Lets scripts/check.sh run every existing test and
+ * bench fully checked without touching their sources.
+ */
+ViaCheck viaCheckDefault();
+
 /** Load-information dissemination strategy (Section 3.3). */
 struct Dissemination {
     enum class Kind {
@@ -163,6 +184,10 @@ struct PressConfig {
 
     /** Seed for client node-selection randomness. */
     std::uint64_t seed = 7;
+
+    /** VIA invariant checking (Protocol::ViaClan only). Defaults to the
+     *  PRESS_CHECK environment variable; see viaCheckDefault(). */
+    ViaCheck viaCheck = viaCheckDefault();
 
     Calibration calibration = Calibration::defaults();
 

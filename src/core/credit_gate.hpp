@@ -25,6 +25,14 @@ namespace press::core {
 class CreditGate
 {
   public:
+    /**
+     * Watches every credit-count mutation: called with the new credit
+     * count and the window right after each change. check::ViaChecker
+     * installs one to enforce 0 <= credits <= window; when an observer is
+     * attached the gate's own over-release assert is delegated to it.
+     */
+    using Observer = std::function<void(int credits, int window)>;
+
     explicit CreditGate(int window) : _credits(window), _window(window)
     {
         PRESS_ASSERT(window > 0, "flow-control window must be positive");
@@ -39,6 +47,7 @@ class CreditGate
     {
         if (_credits > 0) {
             --_credits;
+            observed();
             thunk();
             return true;
         }
@@ -52,15 +61,23 @@ class CreditGate
     release(int n)
     {
         _credits += n;
-        PRESS_ASSERT(_credits <= _window,
-                     "credit over-release: ", _credits, " > ", _window);
+        if (_observer)
+            observed();
+        else
+            PRESS_ASSERT(_credits <= _window,
+                         "credit over-release: ", _credits, " > ",
+                         _window);
         while (_credits > 0 && !_waiting.empty()) {
             --_credits;
+            observed();
             auto thunk = std::move(_waiting.front());
             _waiting.pop_front();
             thunk();
         }
     }
+
+    /** Attach a mutation observer (empty function detaches). */
+    void setObserver(Observer observer) { _observer = std::move(observer); }
 
     int credits() const { return _credits; }
     int window() const { return _window; }
@@ -68,10 +85,18 @@ class CreditGate
     std::uint64_t stalls() const { return _stalls; }
 
   private:
+    void
+    observed()
+    {
+        if (_observer)
+            _observer(_credits, _window);
+    }
+
     int _credits;
     int _window;
     std::deque<std::function<void()>> _waiting;
     std::uint64_t _stalls = 0;
+    Observer _observer;
 };
 
 /**

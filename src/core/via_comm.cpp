@@ -1,7 +1,9 @@
 #include "via_comm.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "check/via_checker.hpp"
 #include "osnode/node.hpp"
 #include "util/logging.hpp"
 
@@ -70,15 +72,14 @@ struct ViaComm::Peer {
 };
 
 ViaComm::ViaComm(sim::Simulator &sim, int node, const PressConfig &config,
-                 sim::FifoResource &cpu, net::Fabric &fabric)
+                 sim::FifoResource &cpu, net::Fabric &fabric,
+                 check::ViaChecker *checker)
     : _sim(sim),
       _node(node),
       _config(config),
       _cal(_config.calibration),
       _cpu(cpu),
       _nic(std::make_unique<via::ViaNic>(sim, fabric, node)),
-      _recvCq(std::make_unique<via::CompletionQueue>(sim)),
-      _sendCq(std::make_unique<via::CompletionQueue>(sim)),
       _maxTransfer(config.largeFileCutoff)
 {
     // A receive thread exists whenever some message type still travels
@@ -90,6 +91,32 @@ ViaComm::ViaComm(sim::Simulator &sim, int node, const PressConfig &config,
          !_config.dissemination.useRmw);
 
     int nodes = _config.nodes;
+
+    // The receive CQ can never legally hold more completions than the
+    // receive descriptors this node pre-posts, so advertise exactly that
+    // capacity and let the checker police it. Send completions are only
+    // bounded per VI (ungated credit-word writes share the queue), so
+    // the send CQ stays unbounded.
+    std::size_t recv_capacity = 0;
+    if (_recvThreadNeeded && nodes > 1)
+        recv_capacity = static_cast<std::size_t>(nodes - 1) *
+                        (_config.controlWindow + FlowReserve);
+    _recvCq = std::make_unique<via::CompletionQueue>(sim, recv_capacity);
+    _sendCq = std::make_unique<via::CompletionQueue>(sim);
+
+    if (_config.viaCheck != ViaCheck::Off && !checker) {
+        _ownedChecker = std::make_unique<check::ViaChecker>(
+            sim, _config.viaCheck == ViaCheck::Record
+                     ? check::CheckMode::Record
+                     : check::CheckMode::Abort);
+        checker = _ownedChecker.get();
+    }
+    _checker = checker;
+    if (_checker) {
+        _checker->attachNic(*_nic);
+        _checker->attachCq(*_recvCq, _node);
+        _checker->attachCq(*_sendCq, _node);
+    }
     _peers.resize(nodes);
     for (int j = 0; j < nodes; ++j) {
         if (j == _node)
@@ -98,6 +125,18 @@ ViaComm::ViaComm(sim::Simulator &sim, int node, const PressConfig &config,
                                            _config.fileWindow);
         Peer *p = peer.get();
         int from = j;
+
+        if (_checker) {
+            std::string to = "->" + std::to_string(j);
+            p->regularGate.setObserver(
+                _checker->creditHook(_node, "regular" + to));
+            p->forwardGate.setObserver(
+                _checker->creditHook(_node, "forward" + to));
+            p->cachingGate.setObserver(
+                _checker->creditHook(_node, "caching" + to));
+            p->fileGate.setObserver(
+                _checker->creditHook(_node, "file" + to));
+        }
 
         // Receive-side regions, with write hooks feeding the poll paths.
         p->forwardRing = _nic->registerMemory(

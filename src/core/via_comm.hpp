@@ -47,6 +47,10 @@
 #include "sim/resource.hpp"
 #include "via/via_nic.hpp"
 
+namespace press::check {
+class ViaChecker;
+}
+
 namespace press::core {
 
 /** One node's VIA intra-cluster endpoint. */
@@ -59,9 +63,14 @@ class ViaComm : public ClusterComm
      * @param config   cluster configuration (version, windows, ...)
      * @param cpu      node CPU for charging comm work
      * @param fabric   the internal network (cLAN)
+     * @param checker  cluster-wide invariant checker to attach to this
+     *                 node's NIC, CQs and credit gates. When null and
+     *                 config.viaCheck is enabled, the comm owns a
+     *                 private checker instead.
      */
     ViaComm(sim::Simulator &sim, int node, const PressConfig &config,
-            sim::FifoResource &cpu, net::Fabric &fabric);
+            sim::FifoResource &cpu, net::Fabric &fabric,
+            check::ViaChecker *checker = nullptr);
 
     ~ViaComm() override;
 
@@ -93,6 +102,9 @@ class ViaComm : public ClusterComm
 
     const via::ViaNic &nic() const { return *_nic; }
     Version version() const { return _config.version; }
+
+    /** The attached invariant checker (null when checking is off). */
+    const check::ViaChecker *checker() const { return _checker; }
 
   private:
     struct Peer;
@@ -142,6 +154,8 @@ class ViaComm : public ClusterComm
     const Calibration &_cal;
     sim::FifoResource &_cpu;
     std::unique_ptr<via::ViaNic> _nic;
+    std::unique_ptr<check::ViaChecker> _ownedChecker;
+    check::ViaChecker *_checker = nullptr;
     std::unique_ptr<via::CompletionQueue> _recvCq;
     std::unique_ptr<via::CompletionQueue> _sendCq;
     std::vector<std::unique_ptr<Peer>> _peers; ///< indexed by node id

@@ -1,6 +1,7 @@
 #include "completion_queue.hpp"
 
 #include "util/logging.hpp"
+#include "via/observer.hpp"
 
 namespace press::via {
 
@@ -31,6 +32,8 @@ CompletionQueue::push(Completion completion)
 {
     _queue.push_back(std::move(completion));
     ++_total;
+    if (_observer)
+        _observer->onCqPush(*this);
     if (_waiter) {
         sim::EventFn fn = std::move(_waiter);
         _waiter = nullptr;

@@ -11,6 +11,7 @@
 #ifndef PRESS_VIA_COMPLETION_QUEUE_HPP
 #define PRESS_VIA_COMPLETION_QUEUE_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -20,6 +21,7 @@
 
 namespace press::via {
 
+class ViaObserver;
 class VirtualInterface;
 
 /** One completed descriptor, as seen through a CQ. */
@@ -33,7 +35,19 @@ struct Completion {
 class CompletionQueue
 {
   public:
-    explicit CompletionQueue(sim::Simulator &sim) : _sim(sim) {}
+    /**
+     * @param sim       simulator
+     * @param capacity  advertised entry capacity, as real VIA CQs are
+     *                  created with a fixed size (VipCreateCQ). 0 means
+     *                  unbounded. The simulation queue itself never drops
+     *                  entries; exceeding a non-zero capacity is a
+     *                  protocol violation that an attached observer
+     *                  (check::ViaChecker) reports.
+     */
+    explicit CompletionQueue(sim::Simulator &sim, std::size_t capacity = 0)
+        : _sim(sim), _capacity(capacity)
+    {
+    }
 
     CompletionQueue(const CompletionQueue &) = delete;
     CompletionQueue &operator=(const CompletionQueue &) = delete;
@@ -61,11 +75,19 @@ class CompletionQueue
     /** Total completions ever pushed. */
     std::uint64_t totalCompletions() const { return _total; }
 
+    /** Advertised capacity (0 = unbounded). */
+    std::size_t capacity() const { return _capacity; }
+
+    /** Attach an instrumentation observer (nullptr detaches). */
+    void setObserver(ViaObserver *observer) { _observer = observer; }
+
   private:
     sim::Simulator &_sim;
+    std::size_t _capacity;
     std::deque<Completion> _queue;
     sim::EventFn _waiter;
     std::uint64_t _total = 0;
+    ViaObserver *_observer = nullptr;
 };
 
 } // namespace press::via

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "util/logging.hpp"
+#include "via/observer.hpp"
 
 namespace press::via {
 
@@ -46,6 +47,8 @@ MemoryRegistry::registerImpl(std::uint64_t size, WriteHook hook,
     if (backed)
         entry.backing.assign(size, 0);
     _regions.emplace(region.base, std::move(entry));
+    if (_observer)
+        _observer->onRegister(*this, region, backed);
     return region;
 }
 
@@ -56,9 +59,13 @@ MemoryRegistry::deregister(MemoryHandle handle)
         if (it->second.region.handle == handle) {
             _pinned -= roundUpToPage(it->second.region.size);
             _regions.erase(it);
+            if (_observer)
+                _observer->onDeregister(*this, handle, true);
             return true;
         }
     }
+    if (_observer)
+        _observer->onDeregister(*this, handle, false);
     return false;
 }
 
@@ -142,6 +149,8 @@ MemoryRegistry::deliverWrite(Address addr, std::uint64_t length,
                              std::uint32_t immediate)
 {
     Entry *e = entryFor(addr, length);
+    if (_observer)
+        _observer->onRdmaDeliver(*this, addr, length, e != nullptr);
     if (!e)
         return false;
     if (e->hook)

@@ -24,6 +24,8 @@
 
 namespace press::via {
 
+class ViaObserver;
+
 /**
  * Callback invoked when a remote memory write lands inside a region.
  *
@@ -113,6 +115,10 @@ class MemoryRegistry
     /** Number of live regions. */
     std::size_t regions() const { return _regions.size(); }
 
+    /** Attach an instrumentation observer (nullptr detaches). */
+    void setObserver(ViaObserver *observer) { _observer = observer; }
+    ViaObserver *observer() const { return _observer; }
+
   private:
     struct Entry {
         MemoryRegion region;
@@ -129,6 +135,7 @@ class MemoryRegistry
     Address _nextBase = 0x1000;
     MemoryHandle _nextHandle = 1;
     std::uint64_t _pinned = 0;
+    ViaObserver *_observer = nullptr;
 };
 
 } // namespace press::via

@@ -45,6 +45,13 @@ ViaNic::deregister(MemoryHandle handle)
     return _memory.deregister(handle);
 }
 
+void
+ViaNic::setObserver(ViaObserver *observer)
+{
+    _observer = observer;
+    _memory.setObserver(observer);
+}
+
 VirtualInterface *
 ViaNic::createVi(Reliability reliability, CompletionQueue *send_cq,
                  CompletionQueue *recv_cq)

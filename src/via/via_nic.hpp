@@ -30,6 +30,8 @@
 
 namespace press::via {
 
+class ViaObserver;
+
 /**
  * Host-CPU costs of VIA verbs, published for the layer that owns the CPU
  * model. Calibrated so a 4-byte VIA/cLAN ping-pong costs ~9 us one-way as
@@ -102,6 +104,13 @@ class ViaNic
      */
     static void disconnect(VirtualInterface &a);
 
+    /**
+     * Attach an instrumentation observer (see via/observer.hpp). The
+     * observer also watches this NIC's memory registry. nullptr detaches.
+     */
+    void setObserver(ViaObserver *observer);
+    ViaObserver *observer() const { return _observer; }
+
     /** Host-side verb costs (for the caller's CPU model). */
     const PostCosts &costs() const { return _costs; }
 
@@ -138,6 +147,7 @@ class ViaNic
     MemoryRegistry _memory;
     std::vector<std::unique_ptr<VirtualInterface>> _vis;
     ViaNicStats _stats;
+    ViaObserver *_observer = nullptr;
 };
 
 } // namespace press::via

@@ -1,6 +1,7 @@
 #include "virtual_interface.hpp"
 
 #include "util/logging.hpp"
+#include "via/observer.hpp"
 #include "via/via_nic.hpp"
 
 namespace press::via {
@@ -22,10 +23,16 @@ bool
 VirtualInterface::postSend(DescriptorPtr desc)
 {
     PRESS_ASSERT(desc, "null send descriptor");
-    PRESS_ASSERT(desc->status == Status::Pending,
-                 "descriptor reposted before completion");
     if (_sendOutstanding >= MaxQueueDepth)
-        return false;
+        return false; // rejected posts never reach the NIC (or observers)
+    // With an observer attached, lifecycle enforcement is delegated to it
+    // (a checker in abort mode panics with a structured report; one in
+    // record mode notes the violation and lets the simulation proceed).
+    if (ViaObserver *obs = _nic.observer())
+        obs->onPostSend(*this, *desc);
+    else
+        PRESS_ASSERT(desc->status == Status::Pending,
+                     "descriptor reposted before completion");
     if (!_peer || _broken) {
         completeSend(std::move(desc), Status::ErrorDisconnected);
         return true;
@@ -39,10 +46,13 @@ bool
 VirtualInterface::postRecv(DescriptorPtr desc)
 {
     PRESS_ASSERT(desc, "null recv descriptor");
-    PRESS_ASSERT(desc->status == Status::Pending,
-                 "descriptor reposted before completion");
     if (_recvQueue.size() >= MaxQueueDepth)
         return false;
+    if (ViaObserver *obs = _nic.observer())
+        obs->onPostRecv(*this, *desc);
+    else
+        PRESS_ASSERT(desc->status == Status::Pending,
+                     "descriptor reposted before completion");
     _recvQueue.push_back(std::move(desc));
     return true;
 }
@@ -79,6 +89,8 @@ VirtualInterface::completeSend(DescriptorPtr desc, Status status)
         desc->bytesDone = desc->length;
     if (_sendOutstanding > 0)
         --_sendOutstanding;
+    if (ViaObserver *obs = _nic.observer())
+        obs->onCompletion(*this, *desc, false);
     if (_sendCq)
         _sendCq->push(Completion{std::move(desc), this, false});
     else
@@ -88,6 +100,8 @@ VirtualInterface::completeSend(DescriptorPtr desc, Status status)
 void
 VirtualInterface::completeRecv(DescriptorPtr desc)
 {
+    if (ViaObserver *obs = _nic.observer())
+        obs->onCompletion(*this, *desc, true);
     if (_recvCq)
         _recvCq->push(Completion{std::move(desc), this, true});
     else

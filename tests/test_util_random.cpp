@@ -157,8 +157,9 @@ TEST_P(ZipfAlpha, HeadHeavierThanTail)
     // any positive skew, and increasingly so for larger alpha.
     double head = z.accumulated(1000);
     EXPECT_GT(head, 0.1);
-    if (alpha >= 0.8)
+    if (alpha >= 0.8) {
         EXPECT_GT(head, 0.4);
+    }
 }
 
 TEST_P(ZipfAlpha, AccumulatedIsMonotone)
