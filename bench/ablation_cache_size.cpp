@@ -34,15 +34,22 @@ main(int argc, char **argv)
               << util::fmtF(trace.files.totalBytes() / 1e6, 0)
               << " MB across " << trace.files.count() << " files\n\n";
 
-    util::TextTable t;
-    t.header({"cache/node", "req/s", "disk util", "fwd frac",
-              "local hits", "intra CPU"});
+    ParallelRunner runner(opts);
     for (std::uint64_t mb : {16, 32, 64, 128, 256, 400, 512}) {
         PressConfig config;
         config.protocol = Protocol::ViaClan;
         config.version = Version::V5;
         config.cacheBytes = mb * util::MB;
-        auto r = runOne(trace, config, opts);
+        runner.add(trace, config);
+    }
+    runner.run();
+
+    util::TextTable t;
+    t.header({"cache/node", "req/s", "disk util", "fwd frac",
+              "local hits", "intra CPU"});
+    std::size_t k = 0;
+    for (std::uint64_t mb : {16, 32, 64, 128, 256, 400, 512}) {
+        const auto &r = runner[k++];
         t.row({std::to_string(mb) + " MB", util::fmtF(r.throughput, 0),
                util::fmtPct(r.diskUtilization),
                util::fmtPct(r.forwardFraction),

@@ -31,19 +31,27 @@ main(int argc, char **argv)
     workload::TraceSpec spec = workload::clarknetSpec();
     workload::Trace trace = workload::generateTrace(spec);
 
-    util::TextTable t;
-    t.header({"clients/node", "req/s", "latency ms", "fwd frac",
-              "local hits", "VIA-V0 gain over TCP/cLAN"});
+    ParallelRunner runner(opts);
     for (int k : {32, 48, 64, 80, 88, 96, 128}) {
         PressConfig via;
         via.protocol = Protocol::ViaClan;
         via.version = Version::V0;
         via.clientsPerNode = k;
-        auto rv = runOne(trace, via, opts);
+        runner.add(trace, via);
 
         PressConfig tcp = via;
         tcp.protocol = Protocol::TcpClan;
-        auto rt = runOne(trace, tcp, opts);
+        runner.add(trace, tcp);
+    }
+    runner.run();
+
+    util::TextTable t;
+    t.header({"clients/node", "req/s", "latency ms", "fwd frac",
+              "local hits", "VIA-V0 gain over TCP/cLAN"});
+    std::size_t cell = 0;
+    for (int k : {32, 48, 64, 80, 88, 96, 128}) {
+        const auto &rv = runner[cell++];
+        const auto &rt = runner[cell++];
 
         t.row({std::to_string(k), util::fmtF(rv.throughput, 0),
                util::fmtF(rv.avgLatencyMs, 0),

@@ -32,11 +32,8 @@ main(int argc, char **argv)
     workload::TraceSpec spec = workload::clarknetSpec();
     workload::Trace trace = workload::generateTrace(spec);
 
-    util::TextTable t;
-    t.header({"window", "V0 req/s", "V0 flow msgs/req", "V5 req/s",
-              "V5 flow msgs/req"});
+    ParallelRunner runner(opts);
     for (int window : {1, 2, 4, 8, 16, 32}) {
-        std::vector<std::string> row{std::to_string(window)};
         for (auto v : {Version::V0, Version::V5}) {
             PressConfig config;
             config.protocol = Protocol::ViaClan;
@@ -45,7 +42,20 @@ main(int argc, char **argv)
             config.fileWindow = window;
             config.controlCreditBatch = std::max(1, window / 2);
             config.fileCreditBatch = std::max(1, window / 2);
-            auto r = runOne(trace, config, opts);
+            runner.add(trace, config);
+        }
+    }
+    runner.run();
+
+    util::TextTable t;
+    t.header({"window", "V0 req/s", "V0 flow msgs/req", "V5 req/s",
+              "V5 flow msgs/req"});
+    std::size_t k = 0;
+    for (int window : {1, 2, 4, 8, 16, 32}) {
+        std::vector<std::string> row{std::to_string(window)};
+        for (auto v : {Version::V0, Version::V5}) {
+            (void)v;
+            const auto &r = runner[k++];
             double per_req =
                 static_cast<double>(r.comm.of(MsgKind::Flow).msgs) /
                 std::max<std::uint64_t>(r.requestsMeasured, 1);

@@ -31,9 +31,7 @@ main(int argc, char **argv)
     workload::TraceSpec spec = workload::clarknetSpec();
     workload::Trace trace = workload::generateTrace(spec);
 
-    util::TextTable t;
-    t.header({"slow-node speed", "PB req/s", "NLB req/s", "PB gain",
-              "PB p-lat ms", "NLB p-lat ms"});
+    ParallelRunner runner(opts);
     for (double slow : {1.0, 0.75, 0.5, 0.33}) {
         // Half the nodes run at the reduced speed.
         std::vector<double> speeds(static_cast<std::size_t>(opts.nodes),
@@ -41,16 +39,26 @@ main(int argc, char **argv)
         for (std::size_t i = 0; i < speeds.size(); i += 2)
             speeds[i] = slow;
 
-        auto run = [&](Dissemination diss) {
+        auto add = [&](Dissemination diss) {
             PressConfig config;
             config.protocol = Protocol::ViaClan;
             config.version = Version::V0;
             config.dissemination = diss;
             config.cpuSpeeds = speeds;
-            return runOne(trace, config, opts);
+            runner.add(trace, config);
         };
-        auto pb = run(Dissemination::piggyBack());
-        auto nlb = run(Dissemination::none());
+        add(Dissemination::piggyBack());
+        add(Dissemination::none());
+    }
+    runner.run();
+
+    util::TextTable t;
+    t.header({"slow-node speed", "PB req/s", "NLB req/s", "PB gain",
+              "PB p-lat ms", "NLB p-lat ms"});
+    std::size_t k = 0;
+    for (double slow : {1.0, 0.75, 0.5, 0.33}) {
+        const auto &pb = runner[k++];
+        const auto &nlb = runner[k++];
         t.row({util::fmtF(slow, 2), util::fmtF(pb.throughput, 0),
                util::fmtF(nlb.throughput, 0),
                "+" + util::fmtPct(pb.throughput / nlb.throughput - 1),

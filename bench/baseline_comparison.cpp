@@ -31,28 +31,38 @@ main(int argc, char **argv)
            opts);
     TraceSet traces(opts);
 
-    util::TextTable t;
-    t.header({"trace", "oblivious", "PRESS TCP/cLAN", "PRESS VIA-V5",
-              "LARD", "V5/LARD", "paper"});
+    ParallelRunner runner(opts);
     for (const auto &trace : traces.all()) {
         PressConfig obl;
         obl.distribution = Distribution::LocalOnly;
         obl.protocol = Protocol::TcpClan;
-        auto r_obl = runOne(trace, obl, opts);
+        runner.add(trace, obl);
 
         PressConfig tcp;
         tcp.protocol = Protocol::TcpClan;
-        auto r_tcp = runOne(trace, tcp, opts);
+        runner.add(trace, tcp);
 
         PressConfig via;
         via.protocol = Protocol::ViaClan;
         via.version = Version::V5;
-        auto r_via = runOne(trace, via, opts);
+        runner.add(trace, via);
 
         PressConfig lard;
         lard.distribution = Distribution::FrontEndLard;
         lard.protocol = Protocol::TcpClan; // irrelevant: no intra comm
-        auto r_lard = runOne(trace, lard, opts);
+        runner.add(trace, lard);
+    }
+    runner.run();
+
+    util::TextTable t;
+    t.header({"trace", "oblivious", "PRESS TCP/cLAN", "PRESS VIA-V5",
+              "LARD", "V5/LARD", "paper"});
+    std::size_t k = 0;
+    for (const auto &trace : traces.all()) {
+        const auto &r_obl = runner[k++];
+        const auto &r_tcp = runner[k++];
+        const auto &r_via = runner[k++];
+        const auto &r_lard = runner[k++];
 
         t.row({trace.name, util::fmtF(r_obl.throughput, 0),
                util::fmtF(r_tcp.throughput, 0),

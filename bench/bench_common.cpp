@@ -1,11 +1,77 @@
 #include "bench_common.hpp"
 
+#include <atomic>
 #include <cstring>
+#include <exception>
 #include <iostream>
+#include <mutex>
+#include <thread>
 
 #include "util/logging.hpp"
 
 namespace press::bench {
+
+namespace {
+
+/**
+ * Run fn(0..n-1) across up to @p jobs threads, each index exactly once.
+ * Indices are claimed from a shared counter, so threads stay busy even
+ * when per-index cost varies wildly (a disk-bound cell can take 10x a
+ * cached one). The first exception is captured and rethrown after all
+ * workers finish, keeping partial results intact.
+ */
+template <typename Fn>
+void
+forEachIndex(std::size_t n, int jobs, Fn &&fn)
+{
+    if (n == 0)
+        return;
+    if (jobs > static_cast<int>(n))
+        jobs = static_cast<int>(n);
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int t = 0; t < jobs; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+core::ClusterResults
+runCell(const Cell &cell, const Options &opts)
+{
+    core::PressConfig config = cell.config;
+    config.nodes = cell.nodes > 0 ? cell.nodes : opts.nodes;
+    core::PressCluster cluster(config, *cell.trace);
+    return cluster.run(cell.maxRequests);
+}
+
+} // namespace
 
 Options
 Options::parse(int argc, char **argv)
@@ -21,9 +87,11 @@ Options::parse(int argc, char **argv)
             o.maxRequests = std::strtoull(argv[++i], nullptr, 10);
         } else if (!std::strcmp(argv[i], "--nodes") && i + 1 < argc) {
             o.nodes = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+            o.jobs = std::atoi(argv[++i]);
         } else if (!std::strcmp(argv[i], "--help")) {
             std::cout << "options: --full | --quick | --requests N | "
-                         "--nodes N\n";
+                         "--nodes N | --jobs N\n";
             std::exit(0);
         } else {
             util::fatal("unknown option ", argv[i],
@@ -33,22 +101,73 @@ Options::parse(int argc, char **argv)
     return o;
 }
 
+int
+Options::resolvedJobs() const
+{
+    if (jobs > 0)
+        return jobs;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
 TraceSet::TraceSet(const Options &opts)
 {
+    std::vector<workload::TraceSpec> specs;
     for (auto spec : workload::paperTraceSpecs()) {
         if (opts.maxRequests && spec.numRequests > opts.maxRequests)
             spec.numRequests = opts.maxRequests;
-        _traces.push_back(workload::generateTrace(spec));
+        specs.push_back(spec);
     }
+    // Generation is deterministic per spec (own RNG), so the traces can
+    // be built concurrently and still come out identical.
+    _traces.resize(specs.size());
+    forEachIndex(specs.size(), opts.resolvedJobs(), [&](std::size_t i) {
+        _traces[i] = workload::generateTrace(specs[i]);
+    });
+}
+
+std::size_t
+ParallelRunner::add(Cell cell)
+{
+    PRESS_ASSERT(cell.trace != nullptr, "cell without a trace");
+    PRESS_ASSERT(!_ran, "ParallelRunner::add after run");
+    _cells.push_back(std::move(cell));
+    return _cells.size() - 1;
+}
+
+std::size_t
+ParallelRunner::add(const workload::Trace &trace,
+                    core::PressConfig config, int nodes)
+{
+    Cell cell;
+    cell.trace = &trace;
+    cell.config = std::move(config);
+    cell.nodes = nodes;
+    return add(std::move(cell));
+}
+
+const std::vector<core::ClusterResults> &
+ParallelRunner::run()
+{
+    if (_ran)
+        return _results;
+    _results.resize(_cells.size());
+    forEachIndex(_cells.size(), _opts.resolvedJobs(),
+                 [&](std::size_t i) {
+                     _results[i] = runCell(_cells[i], _opts);
+                 });
+    _ran = true;
+    return _results;
 }
 
 core::ClusterResults
 runOne(const workload::Trace &trace, core::PressConfig config,
        const Options &opts)
 {
-    config.nodes = opts.nodes;
-    core::PressCluster cluster(config, trace);
-    return cluster.run();
+    Cell cell;
+    cell.trace = &trace;
+    cell.config = std::move(config);
+    return runCell(cell, opts);
 }
 
 void

@@ -7,13 +7,21 @@
  * over every binary in build/bench in the minutes range;
  * pass --full for the complete traces (paper-scale, slower) or --quick
  * for a fast smoke run.
+ *
+ * The cells of a figure or table (one cluster run each) are mutually
+ * independent, so the benches build the full grid first and hand it to
+ * ParallelRunner, which replays the cells across worker threads
+ * (--jobs N, default one per hardware thread). Results come back in
+ * grid order whatever the completion order, and each cell runs in its
+ * own Simulator/PressCluster with RNG seeds taken from its config — so
+ * the printed output is byte-identical to a sequential run.
  */
 
 #ifndef PRESS_BENCH_COMMON_HPP
 #define PRESS_BENCH_COMMON_HPP
 
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -27,9 +35,13 @@ namespace press::bench {
 struct Options {
     std::uint64_t maxRequests = 600000; ///< per-run cap (0 = no cap)
     int nodes = 8;
+    int jobs = 0; ///< sweep worker threads (0 = hardware concurrency)
     bool quick = false;
 
     static Options parse(int argc, char **argv);
+
+    /** Worker-thread count with the 0 default resolved; always >= 1. */
+    int resolvedJobs() const;
 };
 
 /** Cache of generated traces (generation is the slow part). */
@@ -45,7 +57,58 @@ class TraceSet
     std::vector<workload::Trace> _traces;
 };
 
-/** Run one configuration against one trace. */
+/** One independent simulation of a sweep: a (trace, config) pair plus
+ *  the per-cell overrides benches need. */
+struct Cell {
+    const workload::Trace *trace = nullptr;
+    core::PressConfig config;
+    int nodes = 0;                 ///< 0 = Options::nodes
+    std::uint64_t maxRequests = 0; ///< run() cap; 0 = whole trace
+};
+
+/**
+ * Thread pool over independent simulation cells.
+ *
+ * Usage: add() the grid in print order, run() once, then read results
+ * by add()-index. Each cell constructs its own PressCluster (own
+ * Simulator, own RNGs seeded from the cell's config, own ViaChecker
+ * when PRESS_CHECK is set); no state is shared between cells, and
+ * results land at their add()-index, so output derived from them is
+ * byte-identical whatever the jobs count.
+ */
+class ParallelRunner
+{
+  public:
+    explicit ParallelRunner(const Options &opts) : _opts(opts) {}
+
+    /** Queue one cell; returns its index into results. */
+    std::size_t add(Cell cell);
+    std::size_t add(const workload::Trace &trace,
+                    core::PressConfig config, int nodes = 0);
+
+    /**
+     * Run every queued cell across resolvedJobs() threads (capped at
+     * the cell count) and return the results in add() order. The first
+     * exception thrown by a cell is rethrown here after all workers
+     * stop. Idempotent: later calls return the same results.
+     */
+    const std::vector<core::ClusterResults> &run();
+
+    const core::ClusterResults &operator[](std::size_t i) const
+    {
+        return _results.at(i);
+    }
+
+    std::size_t size() const { return _cells.size(); }
+
+  private:
+    const Options &_opts;
+    std::vector<Cell> _cells;
+    std::vector<core::ClusterResults> _results;
+    bool _ran = false;
+};
+
+/** Run one configuration against one trace, synchronously. */
 core::ClusterResults runOne(const workload::Trace &trace,
                             core::PressConfig config,
                             const Options &opts);

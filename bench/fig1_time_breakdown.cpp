@@ -27,9 +27,7 @@ main(int argc, char **argv)
     banner("Figure 1", "CPU time breakdown under TCP/FE", opts);
     TraceSet traces(opts);
 
-    util::TextTable t;
-    t.header({"trace", "variant", "Int.comm", "Ext.comm+Service",
-              "paper Int.comm"});
+    ParallelRunner runner(opts);
     for (const auto &trace : traces.all()) {
         for (bool original : {true, false}) {
             PressConfig config;
@@ -37,8 +35,18 @@ main(int argc, char **argv)
             config.dissemination =
                 original ? Dissemination::broadcast(1)
                          : Dissemination::piggyBack();
-            auto r = runOne(trace, config, opts);
-            double intra = r.intraCommShare();
+            runner.add(trace, config);
+        }
+    }
+    runner.run();
+
+    util::TextTable t;
+    t.header({"trace", "variant", "Int.comm", "Ext.comm+Service",
+              "paper Int.comm"});
+    std::size_t k = 0;
+    for (const auto &trace : traces.all()) {
+        for (bool original : {true, false}) {
+            double intra = runner[k++].intraCommShare();
             t.row({trace.name,
                    original ? "original (L1)" : "piggy-back",
                    util::fmtPct(intra), util::fmtPct(1.0 - intra),

@@ -24,20 +24,27 @@ main(int argc, char **argv)
            opts);
     TraceSet traces(opts);
 
-    util::TextTable t;
-    t.header({"trace", "TCP/FE", "TCP/cLAN", "VIA/cLAN",
-              "cLAN/FE gain", "VIA/TCP gain", "paper"});
-    double sum_bw = 0, sum_proto = 0;
+    ParallelRunner runner(opts);
     for (const auto &trace : traces.all()) {
-        double tput[3];
-        int i = 0;
         for (auto proto : {Protocol::TcpFastEthernet, Protocol::TcpClan,
                            Protocol::ViaClan}) {
             PressConfig config;
             config.protocol = proto;
             config.version = Version::V0;
-            tput[i++] = runOne(trace, config, opts).throughput;
+            runner.add(trace, config);
         }
+    }
+    runner.run();
+
+    util::TextTable t;
+    t.header({"trace", "TCP/FE", "TCP/cLAN", "VIA/cLAN",
+              "cLAN/FE gain", "VIA/TCP gain", "paper"});
+    double sum_bw = 0, sum_proto = 0;
+    std::size_t k = 0;
+    for (const auto &trace : traces.all()) {
+        double tput[3];
+        for (int i = 0; i < 3; ++i)
+            tput[i] = runner[k++].throughput;
         double bw_gain = tput[1] / tput[0] - 1.0;
         double proto_gain = tput[2] / tput[1] - 1.0;
         sum_bw += bw_gain;

@@ -42,6 +42,18 @@ main(int argc, char **argv)
          {"L4r", Dissemination::broadcast(4, true)},
          {"L1r", Dissemination::broadcast(1, true)}};
 
+    ParallelRunner runner(opts);
+    for (const auto &trace : traces.all()) {
+        for (const auto &[name, diss] : strategies) {
+            PressConfig config;
+            config.protocol = Protocol::ViaClan;
+            config.version = Version::V0;
+            config.dissemination = diss;
+            runner.add(trace, config);
+        }
+    }
+    runner.run();
+
     util::TextTable t;
     std::vector<std::string> header{"trace"};
     for (auto &[name, d] : strategies)
@@ -49,20 +61,13 @@ main(int argc, char **argv)
     header.push_back("paper shape");
     t.header(header);
 
+    std::size_t k = 0;
     for (const auto &trace : traces.all()) {
         std::vector<std::string> row{trace.name};
-        double pb = 0;
         for (const auto &[name, diss] : strategies) {
-            PressConfig config;
-            config.protocol = Protocol::ViaClan;
-            config.version = Version::V0;
-            config.dissemination = diss;
-            double tput = runOne(trace, config, opts).throughput;
-            if (name == "PB")
-                pb = tput;
-            row.push_back(util::fmtF(tput, 0));
+            (void)diss;
+            row.push_back(util::fmtF(runner[k++].throughput, 0));
         }
-        (void)pb;
         row.push_back("PB >= L16 > L4 > L1");
         t.row(row);
     }

@@ -24,19 +24,28 @@ main(int argc, char **argv)
     banner("Figure 5", "throughput increase of V1-V5 over V0", opts);
     TraceSet traces(opts);
 
-    util::TextTable t;
-    t.header({"trace", "V0 req/s", "V1", "V2", "V3", "V4", "V5",
-              "paper V5"});
+    ParallelRunner runner(opts);
     for (const auto &trace : traces.all()) {
-        double v0 = 0;
-        std::vector<std::string> row{trace.name};
         for (auto v : {Version::V0, Version::V1, Version::V2,
                        Version::V3, Version::V4, Version::V5}) {
             PressConfig config;
             config.protocol = Protocol::ViaClan;
             config.version = v;
-            double tput = runOne(trace, config, opts).throughput;
-            if (v == Version::V0) {
+            runner.add(trace, config);
+        }
+    }
+    runner.run();
+
+    util::TextTable t;
+    t.header({"trace", "V0 req/s", "V1", "V2", "V3", "V4", "V5",
+              "paper V5"});
+    std::size_t k = 0;
+    for (const auto &trace : traces.all()) {
+        double v0 = 0;
+        std::vector<std::string> row{trace.name};
+        for (int v = 0; v < 6; ++v) {
+            double tput = runner[k++].throughput;
+            if (v == 0) {
                 v0 = tput;
                 row.push_back(util::fmtF(tput, 0));
             } else {

@@ -26,21 +26,31 @@ main(int argc, char **argv)
     banner("Figure 6", "contributions over the TCP/cLAN baseline", opts);
     TraceSet traces(opts);
 
+    ParallelRunner runner(opts);
+    for (const auto &trace : traces.all()) {
+        auto add = [&](Protocol p, Version v) {
+            PressConfig config;
+            config.protocol = p;
+            config.version = v;
+            runner.add(trace, config);
+        };
+        add(Protocol::TcpClan, Version::V0);
+        add(Protocol::ViaClan, Version::V0);
+        add(Protocol::ViaClan, Version::V4);
+        add(Protocol::ViaClan, Version::V5);
+    }
+    runner.run();
+
     util::TextTable t;
     t.header({"trace", "TCP/cLAN", "+LowOverhead", "+RMW", "+0-Copy",
               "total gain", "paper total"});
     double gain_sum = 0;
+    std::size_t k = 0;
     for (const auto &trace : traces.all()) {
-        auto run = [&](Protocol p, Version v) {
-            PressConfig config;
-            config.protocol = p;
-            config.version = v;
-            return runOne(trace, config, opts).throughput;
-        };
-        double base = run(Protocol::TcpClan, Version::V0);
-        double v0 = run(Protocol::ViaClan, Version::V0);
-        double v4 = run(Protocol::ViaClan, Version::V4);
-        double v5 = run(Protocol::ViaClan, Version::V5);
+        double base = runner[k++].throughput;
+        double v0 = runner[k++].throughput;
+        double v4 = runner[k++].throughput;
+        double v5 = runner[k++].throughput;
         double total = v5 / base - 1.0;
         gain_sum += total;
         t.row({trace.name, util::fmtF(base, 0),

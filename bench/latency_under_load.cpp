@@ -33,12 +33,9 @@ main(int argc, char **argv)
     workload::TraceSpec spec = workload::clarknetSpec();
     workload::Trace trace = workload::generateTrace(spec);
 
-    util::TextTable t;
-    t.header({"offered req/s", "TCP/cLAN mean ms", "TCP p99",
-              "VIA-V5 mean ms", "V5 p99"});
+    ParallelRunner runner(opts);
     for (double rate : {1000.0, 2500.0, 4000.0, 5000.0, 5500.0,
                         6000.0}) {
-        std::vector<std::string> row{util::fmtF(rate, 0)};
         for (bool via : {false, true}) {
             PressConfig config;
             config.protocol = via ? Protocol::ViaClan
@@ -50,7 +47,21 @@ main(int argc, char **argv)
             // load the disks would otherwise dominate the latency and
             // mask the communication effect under study.
             config.cacheBytes = 512 * util::MB;
-            auto r = runOne(trace, config, opts);
+            runner.add(trace, config);
+        }
+    }
+    runner.run();
+
+    util::TextTable t;
+    t.header({"offered req/s", "TCP/cLAN mean ms", "TCP p99",
+              "VIA-V5 mean ms", "V5 p99"});
+    std::size_t k = 0;
+    for (double rate : {1000.0, 2500.0, 4000.0, 5000.0, 5500.0,
+                        6000.0}) {
+        std::vector<std::string> row{util::fmtF(rate, 0)};
+        for (bool via : {false, true}) {
+            (void)via;
+            const auto &r = runner[k++];
             bool saturated =
                 r.throughput < rate * 0.95 || r.avgLatencyMs > 2000;
             if (saturated) {

@@ -27,11 +27,23 @@ main(int argc, char **argv)
            opts);
     TraceSet traces(opts);
 
+    ParallelRunner runner(opts);
+    for (const auto &trace : traces.all()) {
+        for (bool via : {true, false}) {
+            PressConfig config;
+            config.protocol = via ? Protocol::ViaClan : Protocol::TcpClan;
+            config.version = via ? Version::V5 : Version::V0;
+            runner.add(trace, config);
+        }
+    }
+    runner.run();
+
     util::TextTable t;
     t.header({"trace", "config", "model req/s", "measured req/s",
               "measured/model", "paper band"});
     double ratio_sum = 0;
     int rows = 0;
+    std::size_t k = 0;
     for (const auto &trace : traces.all()) {
         bool small_files = trace.averageRequestSize() < 15000;
         for (bool via : {true, false}) {
@@ -42,10 +54,7 @@ main(int argc, char **argv)
             auto pred = m.predictFromPopulation(
                 opts.nodes, static_cast<double>(trace.files.count()));
 
-            PressConfig config;
-            config.protocol = via ? Protocol::ViaClan : Protocol::TcpClan;
-            config.version = via ? Version::V5 : Version::V0;
-            auto r = runOne(trace, config, opts);
+            const auto &r = runner[k++];
 
             double ratio = r.throughput / pred.throughput;
             ratio_sum += ratio;

@@ -30,20 +30,26 @@ main(int argc, char **argv)
     workload::TraceSpec spec = workload::clarknetSpec();
     workload::Trace trace = workload::generateTrace(spec);
 
-    util::TextTable t;
-    t.header({"nodes", "sim TCP", "sim VIA-V5", "sim gain", "model TCP",
-              "model VIA", "model gain"});
+    ParallelRunner runner(opts);
     for (int n : {1, 2, 4, 8, 12, 16}) {
-        Options o = opts;
-        o.nodes = n;
         // Keep offered load per node constant.
         PressConfig tcp;
         tcp.protocol = Protocol::TcpClan;
-        auto rt = runOne(trace, tcp, o);
+        runner.add(trace, tcp, n);
         PressConfig via;
         via.protocol = Protocol::ViaClan;
         via.version = Version::V5;
-        auto rv = runOne(trace, via, o);
+        runner.add(trace, via, n);
+    }
+    runner.run();
+
+    util::TextTable t;
+    t.header({"nodes", "sim TCP", "sim VIA-V5", "sim gain", "model TCP",
+              "model VIA", "model gain"});
+    std::size_t k = 0;
+    for (int n : {1, 2, 4, 8, 12, 16}) {
+        const auto &rt = runner[k++];
+        const auto &rv = runner[k++];
 
         model::ModelParams mt = model::ModelParams::tcp();
         model::ModelParams mv = model::ModelParams::viaRmwZc();

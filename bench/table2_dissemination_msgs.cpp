@@ -36,17 +36,26 @@ main(int argc, char **argv)
          {"L16", Dissemination::broadcast(16)},
          {"PB", Dissemination::piggyBack()}};
 
-    util::TextTable t;
-    t.header({"Version", "Msg type", "Num msgs (K)", "Num bytes (MB)",
-              "Avg msg size"});
+    ParallelRunner runner(opts);
     for (const auto &[name, diss] : strategies) {
-        CommStats sum;
         for (const auto &trace : traces.all()) {
             PressConfig config;
             config.protocol = Protocol::ViaClan;
             config.version = Version::V0;
             config.dissemination = diss;
-            auto r = runOne(trace, config, opts);
+            runner.add(trace, config);
+        }
+    }
+    runner.run();
+
+    util::TextTable t;
+    t.header({"Version", "Msg type", "Num msgs (K)", "Num bytes (MB)",
+              "Avg msg size"});
+    std::size_t cell = 0;
+    for (const auto &[name, diss] : strategies) {
+        CommStats sum;
+        for (std::size_t i = 0; i < traces.all().size(); ++i) {
+            const auto &r = runner[cell++];
             for (int k = 0; k < static_cast<int>(MsgKind::NumKinds); ++k) {
                 sum.byKind[k].msgs += r.comm.byKind[k].msgs;
                 sum.byKind[k].bytes += r.comm.byKind[k].bytes;

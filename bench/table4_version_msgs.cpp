@@ -29,17 +29,27 @@ main(int argc, char **argv)
     banner("Table 4", "message traffic per version (V1-V5)", opts);
     TraceSet traces(opts);
 
-    util::TextTable t;
-    t.header({"Version", "Msg type", "Num msgs (K)", "Num bytes (MB)",
-              "Avg msg size"});
+    ParallelRunner runner(opts);
     for (auto v : {Version::V1, Version::V2, Version::V3, Version::V4,
                    Version::V5}) {
-        CommStats sum;
         for (const auto &trace : traces.all()) {
             PressConfig config;
             config.protocol = Protocol::ViaClan;
             config.version = v;
-            auto r = runOne(trace, config, opts);
+            runner.add(trace, config);
+        }
+    }
+    runner.run();
+
+    util::TextTable t;
+    t.header({"Version", "Msg type", "Num msgs (K)", "Num bytes (MB)",
+              "Avg msg size"});
+    std::size_t cell = 0;
+    for (auto v : {Version::V1, Version::V2, Version::V3, Version::V4,
+                   Version::V5}) {
+        CommStats sum;
+        for (std::size_t i = 0; i < traces.all().size(); ++i) {
+            const auto &r = runner[cell++];
             for (int k = 0; k < static_cast<int>(MsgKind::NumKinds); ++k) {
                 sum.byKind[k].msgs += r.comm.byKind[k].msgs;
                 sum.byKind[k].bytes += r.comm.byKind[k].bytes;

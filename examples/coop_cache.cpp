@@ -85,12 +85,16 @@ struct CacheNode {
             pending.push_back({block, std::move(done)});
             return;
         }
-        // Nobody caches it: disk.
+        // Nobody caches it: disk. The done callback waits in a FIFO
+        // side queue (disk completions are FIFO) so the completion
+        // closure stays small enough for EventFn's inline storage.
         ++diskReads;
-        node.disk().read(BlockBytes, [this, block,
-                                      done = std::move(done)]() mutable {
-            cache.insert(block, BlockBytes);
-            node.cpu().submit(20 * util::US, 0, std::move(done));
+        diskWaiters.push_back({block, std::move(done)});
+        node.disk().read(BlockBytes, [this]() {
+            Pending w = std::move(diskWaiters.front());
+            diskWaiters.pop_front();
+            cache.insert(w.block, BlockBytes);
+            node.cpu().submit(20 * util::US, 0, std::move(w.done));
         });
     }
 
@@ -110,6 +114,7 @@ struct CacheNode {
         sim::EventFn done;
     };
     std::deque<Pending> pending;
+    std::deque<Pending> diskWaiters; ///< FIFO, one per in-flight disk read
 
     /** A block landed in our ring (written by a peer's NIC). */
     void

@@ -11,7 +11,10 @@
  *               --values 2,4,8,16
  *               [--trace clarknet|forth|nasa|rutgers] [--requests N]
  *               [--configs tcpfe,tcpclan,via0,via5,lard,oblivious]
- *               [--csv FILE]
+ *               [--csv FILE] [--jobs N]
+ *
+ * Cells run concurrently on --jobs worker threads (default: one per
+ * hardware thread); the table is identical for any jobs count.
  */
 
 #include <cstring>
@@ -19,6 +22,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "bench_common.hpp"
 #include "core/cluster.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
@@ -97,6 +101,7 @@ main(int argc, char **argv)
     std::string configs_arg = "tcpclan,via5";
     std::string csv_path;
     std::uint64_t requests = 200000;
+    int jobs = 0;
 
     for (int i = 1; i < argc; ++i) {
         auto need = [&](const char *flag) -> const char * {
@@ -116,6 +121,8 @@ main(int argc, char **argv)
             csv_path = v;
         else if (auto v = need("--requests"))
             requests = std::strtoull(v, nullptr, 10);
+        else if (auto v = need("--jobs"))
+            jobs = std::atoi(v);
         else
             util::fatal("unknown or incomplete option ", argv[i]);
     }
@@ -127,16 +134,36 @@ main(int argc, char **argv)
                                   : workload::clarknetSpec();
     workload::Trace trace = workload::generateTrace(spec);
 
-    util::TextTable t;
-    t.header({param, "config", "req/s", "mean ms", "p99 ms",
-              "fwd frac", "disk util", "intra CPU"});
+    bench::Options opts;
+    opts.jobs = jobs;
+    bench::ParallelRunner runner(opts);
     for (const std::string &value_str : splitCsvList(values_arg)) {
         double value = std::atof(value_str.c_str());
         for (const std::string &cfg_name : splitCsvList(configs_arg)) {
             PressConfig config = configFor(cfg_name);
             applyParam(config, param, value);
-            PressCluster cluster(config, trace);
-            auto r = cluster.run(requests);
+            bench::Cell cell;
+            cell.trace = &trace;
+            // The sweep may vary the node count itself; carry the
+            // config's value so the runner does not reapply a default.
+            cell.nodes = config.nodes;
+            cell.maxRequests = requests;
+            cell.config = std::move(config);
+            runner.add(std::move(cell));
+        }
+    }
+    runner.run();
+
+    util::TextTable t;
+    t.header({param, "config", "req/s", "mean ms", "p99 ms",
+              "fwd frac", "disk util", "intra CPU"});
+    std::size_t k = 0;
+    for (const std::string &value_str : splitCsvList(values_arg)) {
+        double value = std::atof(value_str.c_str());
+        for (const std::string &cfg_name : splitCsvList(configs_arg)) {
+            PressConfig config = configFor(cfg_name);
+            applyParam(config, param, value);
+            const auto &r = runner[k++];
             t.row({value_str, config.label(),
                    util::fmtF(r.throughput, 0),
                    util::fmtF(r.avgLatencyMs, 1),

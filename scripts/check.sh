@@ -1,20 +1,22 @@
 #!/usr/bin/env bash
 # The CI entry point: one command that proves the tree is healthy.
 #
-#   (a) tier-1 build + full ctest, with the VIA invariant checker on
+#   (a) tier-1 build + full ctest, with the VIA invariant checker on,
+#       plus an event-kernel microbench smoke run (allocs/event == 0)
 #   (b) AddressSanitizer + UBSan build + full ctest, checker still on
-#   (c) lint pass (clang-tidy when available + project grep bans)
+#   (c) ThreadSanitizer build + the ParallelRunner sweep tests
+#   (d) lint pass (clang-tidy when available + project grep bans)
 #
 # Usage: scripts/check.sh [stage...]
-#   stage  any of: tier1 asan lint (default: all three, in that order)
+#   stage  any of: tier1 asan tsan lint (default: all four, in order)
 #
-# Separate build trees (build/, build-asan/) keep the sanitizer
-# instrumentation out of the regular binaries.
+# Separate build trees (build/, build-asan/, build-tsan/) keep the
+# sanitizer instrumentation out of the regular binaries.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [ $# -eq 0 ]; then
-    STAGES=(tier1 asan lint)
+    STAGES=(tier1 asan tsan lint)
 else
     STAGES=("$@")
 fi
@@ -35,6 +37,9 @@ for stage in "${STAGES[@]}"; do
         cmake -B build -S . -G Ninja -DPRESS_WERROR=ON
         cmake --build build -j "$(nproc)"
         ctest --test-dir build -j "$(nproc)" --output-on-failure
+        # Kernel smoke: the microbench exits nonzero if the zero-
+        # allocation contract breaks (JSON lands in the build tree).
+        ./build/bench/sim_micro --json build/BENCH_sim.json
         ;;
     asan)
         run_stage "ASan+UBSan build + ctest (PRESS_CHECK=$PRESS_CHECK)"
@@ -46,12 +51,26 @@ for stage in "${STAGES[@]}"; do
         ASAN_OPTIONS="abort_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
             ctest --test-dir build-asan -j "$(nproc)" --output-on-failure
         ;;
+    tsan)
+        run_stage "TSan build + ParallelRunner tests"
+        cmake -B build-tsan -S . -G Ninja \
+            -DPRESS_SANITIZE=thread -DPRESS_WERROR=ON
+        # Only what the sweep pool needs: the harness itself and the
+        # tests that drive clusters from multiple worker threads. A
+        # full TSan ctest pass would double CI time for single-
+        # threaded code.
+        cmake --build build-tsan -j "$(nproc)" --target \
+            test_bench_parallel
+        TSAN_OPTIONS="halt_on_error=1" \
+            ctest --test-dir build-tsan -j "$(nproc)" \
+            --output-on-failure -R "ParallelRunner|TraceSet"
+        ;;
     lint)
         run_stage "lint"
         scripts/lint.sh build
         ;;
     *)
-        echo "check.sh: unknown stage '$stage' (want tier1|asan|lint)" >&2
+        echo "check.sh: unknown stage '$stage' (want tier1|asan|tsan|lint)" >&2
         exit 2
         ;;
     esac

@@ -14,10 +14,11 @@
 #define PRESS_CORE_CREDIT_GATE_HPP
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 
+#include "sim/inline_fn.hpp"
 #include "util/logging.hpp"
+#include "util/ring_queue.hpp"
 
 namespace press::core {
 
@@ -33,6 +34,14 @@ class CreditGate
      */
     using Observer = std::function<void(int credits, int window)>;
 
+    /**
+     * Gated send thunk. Wider than sim::EventFn because the comm
+     * backends capture a full post context (peer, ring addresses,
+     * sizes, payload handle); still inline-only, so no allocation per
+     * gated send.
+     */
+    using Thunk = sim::InlineFn<96>;
+
     explicit CreditGate(int window) : _credits(window), _window(window)
     {
         PRESS_ASSERT(window > 0, "flow-control window must be positive");
@@ -43,7 +52,7 @@ class CreditGate
      * @return true when it ran immediately.
      */
     bool
-    acquire(std::function<void()> thunk)
+    acquire(Thunk thunk)
     {
         if (_credits > 0) {
             --_credits;
@@ -94,7 +103,7 @@ class CreditGate
 
     int _credits;
     int _window;
-    std::deque<std::function<void()>> _waiting;
+    util::RingQueue<Thunk> _waiting;
     std::uint64_t _stalls = 0;
     Observer _observer;
 };

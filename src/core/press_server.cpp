@@ -160,22 +160,24 @@ PressServer::reply(std::uint32_t tag, std::uint64_t file_bytes,
     _pending.erase(it);
 
     std::uint64_t bytes = file_bytes + _cal.sizes.httpReplyHeader;
+    // Capture only the two Pending fields the completion needs; the
+    // whole struct would overflow EventFn's inline storage.
     _node.cpu().submit(
         replyCost(bytes), CatClientComm,
-        [this, pending = std::move(pending), bytes, buffer_owner]() {
+        [this, start = pending.start,
+         on_reply = std::move(pending.onReply), bytes, buffer_owner]() {
             if (buffer_owner >= 0)
                 _comm.fileBufferDone(buffer_owner);
             ++_stats.replies;
-            if (pending.start >= _statsEpoch) {
-                auto ns =
-                    static_cast<double>(_sim.now() - pending.start);
+            if (start >= _statsEpoch) {
+                auto ns = static_cast<double>(_sim.now() - start);
                 _stats.latency.add(ns);
                 _stats.latencyHist.add(ns);
             }
             --_openConnections;
             loadChanged();
-            if (pending.onReply)
-                pending.onReply(bytes);
+            if (on_reply)
+                on_reply(bytes);
         });
 }
 

@@ -68,6 +68,32 @@ Fabric::unloadedLatency(std::uint64_t bytes) const
     return txTime(bytes) + _config.wireLatency + rxTime(bytes);
 }
 
+Fabric::Transfer *
+Fabric::acquireTransfer(NodeId dst, std::uint64_t bytes,
+                        DeliverFn on_delivered, DeliverFn on_tx_done)
+{
+    Transfer *t;
+    if (_freeTransfers.empty()) {
+        t = &_transferArena.emplace_back();
+    } else {
+        t = _freeTransfers.back();
+        _freeTransfers.pop_back();
+    }
+    t->dst = dst;
+    t->bytes = bytes;
+    t->onDelivered = std::move(on_delivered);
+    t->onTxDone = std::move(on_tx_done);
+    return t;
+}
+
+void
+Fabric::releaseTransfer(Transfer *t)
+{
+    t->onDelivered = nullptr;
+    t->onTxDone = nullptr;
+    _freeTransfers.push_back(t);
+}
+
 void
 Fabric::send(NodeId src, NodeId dst, std::uint64_t bytes,
              DeliverFn on_delivered, DeliverFn on_tx_done)
@@ -79,42 +105,57 @@ Fabric::send(NodeId src, NodeId dst, std::uint64_t bytes,
     ++st.messagesSent;
     st.bytesSent += bytes;
 
+    Transfer *t = acquireTransfer(dst, bytes, std::move(on_delivered),
+                                  std::move(on_tx_done));
     if (src == dst) {
         // Local short-circuit: only the TX engine is charged.
         _tx[src]->submit(txTime(bytes), 0,
-                         [this, dst, bytes, cb = std::move(on_delivered),
-                          tx = std::move(on_tx_done)]() mutable {
-                             auto &rst = _stats[dst];
-                             ++rst.messagesReceived;
-                             rst.bytesReceived += bytes;
-                             if (tx)
-                                 tx();
-                             if (cb)
-                                 cb();
-                         });
+                         [this, t]() { loopbackDone(t); });
         return;
     }
+    _tx[src]->submit(txTime(bytes), 0, [this, t]() { txDone(t); });
+}
 
-    _tx[src]->submit(
-        txTime(bytes), 0,
-        [this, dst, bytes, cb = std::move(on_delivered),
-         tx = std::move(on_tx_done)]() mutable {
-            if (tx)
-                tx();
-            _sim.schedule(_config.wireLatency,
-                          [this, dst, bytes, cb = std::move(cb)]() mutable {
-                              _rx[dst]->submit(
-                                  rxTime(bytes), 0,
-                                  [this, dst, bytes,
-                                   cb = std::move(cb)]() mutable {
-                                      auto &rst = _stats[dst];
-                                      ++rst.messagesReceived;
-                                      rst.bytesReceived += bytes;
-                                      if (cb)
-                                          cb();
-                                  });
-                          });
-        });
+void
+Fabric::loopbackDone(Transfer *t)
+{
+    auto &rst = _stats[t->dst];
+    ++rst.messagesReceived;
+    rst.bytesReceived += t->bytes;
+    DeliverFn tx = std::move(t->onTxDone);
+    DeliverFn cb = std::move(t->onDelivered);
+    releaseTransfer(t);
+    if (tx)
+        tx();
+    if (cb)
+        cb();
+}
+
+void
+Fabric::txDone(Transfer *t)
+{
+    DeliverFn tx = std::move(t->onTxDone);
+    if (tx)
+        tx();
+    _sim.schedule(_config.wireLatency, [this, t]() { wireDone(t); });
+}
+
+void
+Fabric::wireDone(Transfer *t)
+{
+    _rx[t->dst]->submit(rxTime(t->bytes), 0, [this, t]() { rxDone(t); });
+}
+
+void
+Fabric::rxDone(Transfer *t)
+{
+    auto &rst = _stats[t->dst];
+    ++rst.messagesReceived;
+    rst.bytesReceived += t->bytes;
+    DeliverFn cb = std::move(t->onDelivered);
+    releaseTransfer(t);
+    if (cb)
+        cb();
 }
 
 const PortStats &

@@ -19,6 +19,7 @@
 #define PRESS_NET_FABRIC_HPP
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -110,6 +111,26 @@ class Fabric
     void resetStats();
 
   private:
+    /**
+     * One in-flight message. Pooled so that the TX/wire/RX stage
+     * closures capture only {this, Transfer*} and fit EventFn's inline
+     * storage instead of nesting callbacks inside callbacks.
+     */
+    struct Transfer {
+        NodeId dst = 0;
+        std::uint64_t bytes = 0;
+        DeliverFn onDelivered;
+        DeliverFn onTxDone;
+    };
+
+    Transfer *acquireTransfer(NodeId dst, std::uint64_t bytes,
+                              DeliverFn on_delivered, DeliverFn on_tx_done);
+    void releaseTransfer(Transfer *t);
+    void txDone(Transfer *t);
+    void wireDone(Transfer *t);
+    void rxDone(Transfer *t);
+    void loopbackDone(Transfer *t);
+
     void checkPort(NodeId port) const;
 
     sim::Simulator &_sim;
@@ -117,6 +138,8 @@ class Fabric
     std::vector<std::unique_ptr<sim::FifoResource>> _tx;
     std::vector<std::unique_ptr<sim::FifoResource>> _rx;
     std::vector<PortStats> _stats;
+    std::deque<Transfer> _transferArena; ///< stable addresses, reused
+    std::vector<Transfer *> _freeTransfers;
 };
 
 } // namespace press::net

@@ -13,18 +13,24 @@
 
 #include <memory>
 
+#include "util/pool.hpp"
+
 namespace press::net {
 
 /** Opaque stand-in for message bytes. */
 using Payload = std::shared_ptr<const void>;
 
-/** Wrap a copy of @p value in a payload handle. */
+/**
+ * Wrap a copy of @p value in a payload handle. The object and its
+ * shared_ptr control block come from the slab pools — one payload is
+ * built per simulated message, which made make_shared a hot spot.
+ */
 template <typename T>
 Payload
 makePayload(T value)
 {
     return std::static_pointer_cast<const void>(
-        std::make_shared<T>(std::move(value)));
+        util::makePooled<T>(std::move(value)));
 }
 
 /** Recover a typed view of a payload created with makePayload<T>. */

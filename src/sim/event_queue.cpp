@@ -1,32 +1,127 @@
 #include "event_queue.hpp"
 
+#include <algorithm>
+
 #include "util/logging.hpp"
 
 namespace press::sim {
+
+namespace {
+constexpr std::size_t Arity = 4;
+constexpr std::size_t InitialCapacity = 256;
+} // namespace
+
+EventQueue::EventQueue()
+{
+    _heap.reserve(InitialCapacity);
+    _free.reserve(InitialCapacity);
+}
+
+std::uint32_t
+EventQueue::acquireSlot(EventFn &&fn)
+{
+    std::uint32_t slot;
+    if (!_free.empty()) {
+        slot = _free.back();
+        _free.pop_back();
+    } else {
+        slot = _slotCount;
+        PRESS_ASSERT(slot <= SlotMask, "too many pending events");
+        if ((slot & (ChunkSize - 1)) == 0)
+            _chunks.push_back(std::make_unique<EventFn[]>(ChunkSize));
+        ++_slotCount;
+    }
+    slotRef(slot) = std::move(fn);
+    return slot;
+}
 
 void
 EventQueue::push(Tick when, EventFn fn)
 {
     PRESS_ASSERT(fn, "null event callback");
-    _heap.push(Entry{when, _seq++, std::move(fn)});
+    PRESS_ASSERT(_seq < (std::uint64_t{1} << (64 - SlotBits)),
+                 "event sequence space exhausted");
+    std::uint32_t slot = acquireSlot(std::move(fn));
+    _heap.push_back(Entry{when, (_seq++ << SlotBits) | slot});
+    siftUp(_heap.size() - 1);
 }
 
 Tick
 EventQueue::nextTime() const
 {
-    return _heap.empty() ? MaxTick : _heap.top().when;
+    return _heap.empty() ? MaxTick : _heap.front().when;
+}
+
+EventQueue::Entry
+EventQueue::removeTop()
+{
+    Entry top = _heap.front();
+    _heap.front() = _heap.back();
+    _heap.pop_back();
+    if (!_heap.empty())
+        siftDown(0);
+    return top;
 }
 
 std::pair<Tick, EventFn>
 EventQueue::pop()
 {
     PRESS_ASSERT(!_heap.empty(), "pop from empty event queue");
-    // priority_queue::top() is const; the callback must be moved out, so we
-    // const_cast the entry. The entry is popped immediately afterwards.
-    auto &top = const_cast<Entry &>(_heap.top());
-    std::pair<Tick, EventFn> out{top.when, std::move(top.fn)};
-    _heap.pop();
+    Entry top = removeTop();
+    auto slot = static_cast<std::uint32_t>(top.seqSlot & SlotMask);
+    std::pair<Tick, EventFn> out{top.when, std::move(slotRef(slot))};
+    _free.push_back(slot);
     return out;
+}
+
+void
+EventQueue::fireNext()
+{
+    PRESS_ASSERT(!_heap.empty(), "fire on empty event queue");
+    Entry top = removeTop();
+    auto slot = static_cast<std::uint32_t>(top.seqSlot & SlotMask);
+    EventFn &fn = slotRef(slot);
+    fn();
+    // Release only after the callback ran: pushes from inside it must
+    // not reuse the slot under our feet.
+    fn = nullptr;
+    _free.push_back(slot);
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    Entry e = _heap[i];
+    while (i > 0) {
+        std::size_t parent = (i - 1) / Arity;
+        if (!before(e, _heap[parent]))
+            break;
+        _heap[i] = _heap[parent];
+        i = parent;
+    }
+    _heap[i] = e;
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    Entry e = _heap[i];
+    const std::size_t n = _heap.size();
+    for (;;) {
+        std::size_t first = i * Arity + 1;
+        if (first >= n)
+            break;
+        std::size_t last = std::min(first + Arity, n);
+        std::size_t best = first;
+        for (std::size_t c = first + 1; c < last; ++c)
+            if (before(_heap[c], _heap[best]))
+                best = c;
+        if (!before(_heap[best], e))
+            break;
+        _heap[i] = _heap[best];
+        i = best;
+    }
+    _heap[i] = e;
 }
 
 } // namespace press::sim

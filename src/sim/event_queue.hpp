@@ -1,30 +1,46 @@
 /**
  * @file
  * The pending-event set of the discrete-event kernel.
+ *
+ * Implemented as a 4-ary implicit heap over a flat vector of 16-byte
+ * entries — (tick, packed sequence|slot) — so a sift touches a quarter
+ * of the levels of a binary heap and four entries share a cache line.
+ * Callbacks live in chunked slot storage recycled through a free list:
+ * chunks never move, so fireNext() invokes the callback in place
+ * without a single move, and steady state performs zero heap
+ * allocations per event.
  */
 
 #ifndef PRESS_SIM_EVENT_QUEUE_HPP
 #define PRESS_SIM_EVENT_QUEUE_HPP
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "sim/inline_fn.hpp"
 #include "sim/time.hpp"
 
 namespace press::sim {
 
-/** Callback executed when an event fires. */
-using EventFn = std::function<void()>;
+/**
+ * Callback executed when an event fires. Inline storage only: captures
+ * larger than EventFn::capacity() are rejected at compile time.
+ */
+using EventFn = InlineFn<64>;
 
 /**
  * A time-ordered queue of events. Events scheduled for the same tick fire
- * in insertion order (FIFO), which keeps runs deterministic.
+ * in insertion order (FIFO), which keeps runs deterministic: pop order is
+ * strictly (tick, insertion sequence), bit-identical to the previous
+ * binary-heap implementation.
  */
 class EventQueue
 {
   public:
+    EventQueue();
+
     /** Insert an event at absolute time @p when. */
     void push(Tick when, EventFn fn);
 
@@ -40,26 +56,60 @@ class EventQueue
     /** Remove and return the earliest event's callback and time. */
     std::pair<Tick, EventFn> pop();
 
+    /**
+     * Remove the earliest event and invoke its callback in place (slot
+     * chunks are address-stable, so pushes from inside the callback are
+     * safe). The fast path of the simulator loop: no callback move.
+     */
+    void fireNext();
+
     /** Total events ever inserted (for statistics). */
     std::uint64_t inserted() const { return _seq; }
 
   private:
+    /**
+     * 16-byte heap entry: tick plus (sequence << SlotBits | slot). The
+     * sequence lives in the high bits, so comparing the packed word
+     * orders equal-tick entries FIFO exactly as comparing sequences
+     * would; the slot bits never decide (sequences are unique). 40 bits
+     * of sequence and 24 bits of slot bound a queue at ~10^12 insertions
+     * and ~16.7M simultaneously pending events, both asserted in push().
+     */
     struct Entry {
         Tick when;
-        std::uint64_t seq;
-        EventFn fn;
+        std::uint64_t seqSlot;
     };
-    struct Later {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+    static constexpr unsigned SlotBits = 24;
+    static constexpr std::uint64_t SlotMask = (1u << SlotBits) - 1;
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    /** Slot chunks: stable addresses, so callbacks never relocate. */
+    static constexpr unsigned ChunkShift = 8;
+    static constexpr std::uint32_t ChunkSize = 1u << ChunkShift;
+
+    /** Strict ordering: earlier tick first, FIFO among equal ticks. */
+    static bool
+    before(const Entry &a, const Entry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seqSlot < b.seqSlot;
+    }
+
+    EventFn &
+    slotRef(std::uint32_t slot)
+    {
+        return _chunks[slot >> ChunkShift][slot & (ChunkSize - 1)];
+    }
+
+    std::uint32_t acquireSlot(EventFn &&fn);
+    Entry removeTop();
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    std::vector<Entry> _heap; ///< 4-ary implicit heap
+    std::vector<std::unique_ptr<EventFn[]>> _chunks;
+    std::uint32_t _slotCount = 0;
+    std::vector<std::uint32_t> _free; ///< recyclable slot indices
     std::uint64_t _seq = 0;
 };
 

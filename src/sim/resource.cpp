@@ -41,24 +41,31 @@ FifoResource::start(Job job)
 {
     _busy = true;
     Tick service = job.service;
-    int category = job.category;
-    // The completion event owns the job callback.
-    _sim.schedule(service, [this, service, category,
-                            on_done = std::move(job.onDone)]() mutable {
-        _busyTotal += service;
-        if (category >= static_cast<int>(_busyByCat.size()))
-            _busyByCat.resize(category + 1, 0);
-        _busyByCat[category] += service;
-        ++_completed;
-        _busy = false;
-        if (!_queue.empty()) {
-            Job next = std::move(_queue.front());
-            _queue.pop_front();
-            start(std::move(next));
-        }
-        if (on_done)
-            on_done();
-    });
+    _current = std::move(job);
+    _sim.schedule(service, [this]() { complete(); });
+}
+
+void
+FifoResource::complete()
+{
+    _busyTotal += _current.service;
+    int category = _current.category;
+    if (category >= static_cast<int>(_busyByCat.size()))
+        _busyByCat.resize(category + 1, 0);
+    _busyByCat[category] += _current.service;
+    ++_completed;
+    _busy = false;
+    // The next job starts (and schedules its completion) before the
+    // finished job's callback runs — the same event ordering as the
+    // original closure-per-job implementation, so runs stay identical.
+    EventFn on_done = std::move(_current.onDone);
+    if (!_queue.empty()) {
+        Job next = std::move(_queue.front());
+        _queue.pop_front();
+        start(std::move(next));
+    }
+    if (on_done)
+        on_done();
 }
 
 Tick

@@ -13,11 +13,11 @@
 #define PRESS_SIM_RESOURCE_HPP
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "util/ring_queue.hpp"
 
 namespace press::sim {
 
@@ -84,16 +84,19 @@ class FifoResource
 
   private:
     struct Job {
-        Tick service;
-        int category;
+        Tick service = 0;
+        int category = 0;
         EventFn onDone;
     };
 
     void start(Job job);
+    void complete();
 
     Simulator &_sim;
     std::string _name;
-    std::deque<Job> _queue;
+    util::RingQueue<Job> _queue;
+    Job _current; ///< job in service; the completion event captures
+                  ///< only `this`, so every closure stays pointer-sized
     double _speed = 1.0;
     bool _busy = false;
     Tick _busyTotal = 0;

@@ -22,11 +22,13 @@ Simulator::scheduleAt(Tick when, EventFn fn)
 Tick
 Simulator::run(Tick until)
 {
-    while (!_queue.empty() && _queue.nextTime() <= until) {
-        auto [when, fn] = _queue.pop();
+    while (!_queue.empty()) {
+        Tick when = _queue.nextTime();
+        if (when > until)
+            break;
         _now = when;
         ++_executed;
-        fn();
+        _queue.fireNext();
     }
     if (_queue.empty())
         return _now;
@@ -39,10 +41,9 @@ Simulator::step()
 {
     if (_queue.empty())
         return false;
-    auto [when, fn] = _queue.pop();
-    _now = when;
+    _now = _queue.nextTime();
     ++_executed;
-    fn();
+    _queue.fireNext();
     return true;
 }
 

@@ -23,7 +23,6 @@
 #define PRESS_TCPNET_TCP_STACK_HPP
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -32,6 +31,7 @@
 #include "net/payload.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
+#include "util/ring_queue.hpp"
 
 namespace press::tcpnet {
 
@@ -121,7 +121,7 @@ class TcpChannel
     TcpChannel(TcpStack &local, TcpStack &remote, std::uint64_t sockbuf);
 
     struct PendingSend {
-        std::uint64_t bytes;
+        std::uint64_t bytes = 0;
         net::Payload payload;
         sim::EventFn onSent;
     };
@@ -135,7 +135,7 @@ class TcpChannel
     TcpChannel *_reverse = nullptr; ///< the remote->local direction
     std::uint64_t _sockbuf;
     std::uint64_t _inFlight = 0;
-    std::deque<PendingSend> _pending;
+    util::RingQueue<PendingSend> _pending;
     TcpReceiveFn _handler;
 };
 

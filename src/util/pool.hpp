@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Size-class slab pools for hot-path message objects.
+ *
+ * Every simulated message allocates a couple of small shared objects
+ * (a via::Descriptor, a WireMsg payload). Pooling them in thread-local
+ * free lists removes malloc/free from the per-message path and keeps
+ * the blocks cache-warm. Blocks of equal rounded size share one pool.
+ *
+ * Concurrency contract: each free list is thread-local, so allocation
+ * never contends. A block may be freed from a different thread than it
+ * was allocated on (it simply migrates to the freeing thread's list);
+ * what is NOT supported is two threads freeing the same block — which
+ * shared_ptr already guarantees. The parallel sweep runner keeps every
+ * simulation cell on one thread, so in practice blocks stay local.
+ *
+ * Chunks are intentionally never returned to the OS before process
+ * exit: a pool's high-water mark is a few MB per thread and releasing
+ * chunks would reintroduce destruction-order hazards for statics.
+ *
+ * Under AddressSanitizer the pools compile down to plain operator
+ * new/delete so use-after-free and leak detection keep working.
+ */
+
+#ifndef PRESS_UTIL_POOL_HPP
+#define PRESS_UTIL_POOL_HPP
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define PRESS_POOLS_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PRESS_POOLS_DISABLED 1
+#endif
+#endif
+
+namespace press::util {
+
+/** Thread-local free list of fixed-size blocks, carved from chunks. */
+template <std::size_t BlockBytes>
+class SizeSlab
+{
+    static_assert(BlockBytes % alignof(std::max_align_t) == 0,
+                  "block size must preserve max alignment");
+
+  public:
+    static void *
+    allocate()
+    {
+#ifdef PRESS_POOLS_DISABLED
+        return ::operator new(BlockBytes);
+#else
+        Node *&head = freeHead();
+        if (!head)
+            refill(head);
+        Node *n = head;
+        head = n->next;
+        return n;
+#endif
+    }
+
+    static void
+    deallocate(void *p) noexcept
+    {
+#ifdef PRESS_POOLS_DISABLED
+        ::operator delete(p);
+#else
+        Node *&head = freeHead();
+        auto *n = static_cast<Node *>(p);
+        n->next = head;
+        head = n;
+#endif
+    }
+
+  private:
+    struct Node {
+        Node *next;
+    };
+
+    static Node *&
+    freeHead()
+    {
+        // Trivially destructible on purpose: a shared_ptr released
+        // during static destruction must still find a valid list.
+        thread_local Node *head = nullptr;
+        return head;
+    }
+
+    static void
+    refill(Node *&head)
+    {
+        constexpr std::size_t ChunkBlocks = 64;
+        auto *raw = static_cast<unsigned char *>(
+            ::operator new(BlockBytes * ChunkBlocks));
+        for (std::size_t i = 0; i < ChunkBlocks; ++i) {
+            auto *n = reinterpret_cast<Node *>(raw + i * BlockBytes);
+            n->next = head;
+            head = n;
+        }
+    }
+};
+
+/**
+ * std-compatible allocator over SizeSlab; single-object allocations
+ * (the std::allocate_shared case) come from the pool, arrays fall back
+ * to operator new.
+ */
+template <typename T>
+class PoolAllocator
+{
+  public:
+    using value_type = T;
+
+    PoolAllocator() = default;
+    template <typename U>
+    PoolAllocator(const PoolAllocator<U> &) // NOLINT: rebind conversion
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        if (n == 1)
+            return static_cast<T *>(SizeSlab<blockBytes()>::allocate());
+        return static_cast<T *>(::operator new(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, std::size_t n) noexcept
+    {
+        if (n == 1)
+            SizeSlab<blockBytes()>::deallocate(p);
+        else
+            ::operator delete(p);
+    }
+
+    template <typename U>
+    bool
+    operator==(const PoolAllocator<U> &) const
+    {
+        return true;
+    }
+
+  private:
+    static constexpr std::size_t
+    blockBytes()
+    {
+        constexpr std::size_t a = alignof(std::max_align_t);
+        return (sizeof(T) + a - 1) / a * a;
+    }
+
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "over-aligned types need a dedicated slab");
+};
+
+/** make_shared through the slab pools. */
+template <typename T, typename... Args>
+std::shared_ptr<T>
+makePooled(Args &&...args)
+{
+    return std::allocate_shared<T>(PoolAllocator<T>{},
+                                   std::forward<Args>(args)...);
+}
+
+} // namespace press::util
+
+#endif // PRESS_UTIL_POOL_HPP

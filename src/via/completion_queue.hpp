@@ -13,10 +13,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <optional>
 
 #include "sim/simulator.hpp"
+#include "util/ring_queue.hpp"
 #include "via/descriptor.hpp"
 
 namespace press::via {
@@ -84,7 +84,7 @@ class CompletionQueue
   private:
     sim::Simulator &_sim;
     std::size_t _capacity;
-    std::deque<Completion> _queue;
+    util::RingQueue<Completion> _queue;
     sim::EventFn _waiter;
     std::uint64_t _total = 0;
     ViaObserver *_observer = nullptr;

@@ -1,12 +1,14 @@
 #include "descriptor.hpp"
 
+#include "util/pool.hpp"
+
 namespace press::via {
 
 DescriptorPtr
 makeSend(Address local, std::uint64_t length, Payload payload,
          std::uint32_t immediate)
 {
-    auto d = std::make_shared<Descriptor>();
+    auto d = util::makePooled<Descriptor>();
     d->op = Opcode::Send;
     d->localAddr = local;
     d->length = length;
@@ -18,7 +20,7 @@ makeSend(Address local, std::uint64_t length, Payload payload,
 DescriptorPtr
 makeRecv(Address local, std::uint64_t capacity)
 {
-    auto d = std::make_shared<Descriptor>();
+    auto d = util::makePooled<Descriptor>();
     d->op = Opcode::Send; // opcode is ignored on the receive queue
     d->localAddr = local;
     d->length = capacity;
@@ -29,7 +31,7 @@ DescriptorPtr
 makeRdmaWrite(Address local, std::uint64_t length, Address remote,
               Payload payload, std::uint32_t immediate)
 {
-    auto d = std::make_shared<Descriptor>();
+    auto d = util::makePooled<Descriptor>();
     d->op = Opcode::RdmaWrite;
     d->localAddr = local;
     d->length = length;

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Golden-stats regression test for full cluster runs.
+ *
+ * The event kernel's determinism contract is that every run is
+ * bit-identical across kernel rewrites: same (tick, insertion-order)
+ * event ordering, same RNG streams, same floating-point accumulation
+ * order. These baselines were captured from complete cluster runs and
+ * are compared exactly (EXPECT_EQ on doubles, no tolerance) — any
+ * drift means event ordering changed somewhere, which would silently
+ * invalidate cross-version bench comparisons.
+ *
+ * If a deliberate simulation-model change moves these numbers, rebase
+ * the constants from a trusted build and say so in the commit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "workload/trace_gen.hpp"
+
+using namespace press;
+
+namespace {
+
+workload::Trace
+goldenTrace()
+{
+    auto spec = workload::clarknetSpec();
+    spec.numRequests = 30000;
+    return workload::generateTrace(spec);
+}
+
+core::ClusterResults
+runGolden(core::PressConfig config, const workload::Trace &trace,
+          std::uint64_t *events, sim::Tick *now)
+{
+    core::PressCluster cluster(config, trace);
+    auto r = cluster.run(20000);
+    *events = cluster.simulator().eventsExecuted();
+    *now = cluster.simulator().now();
+    return r;
+}
+
+} // namespace
+
+TEST(GoldenStats, ViaV5EightNodes)
+{
+    auto trace = goldenTrace();
+    core::PressConfig config;
+    config.protocol = core::Protocol::ViaClan;
+    config.version = core::Version::V5;
+    config.nodes = 8;
+    std::uint64_t events = 0;
+    sim::Tick now = 0;
+    auto r = runGolden(config, trace, &events, &now);
+
+    EXPECT_EQ(r.throughput, 776.36025347544796);
+    EXPECT_EQ(r.avgLatencyMs, 857.81063838959994);
+    EXPECT_EQ(r.p99LatencyMs, 4123.7166063668265);
+    EXPECT_EQ(r.requestsMeasured, 20703u);
+    EXPECT_EQ(r.forwardFraction, 0.27324999999999999);
+    EXPECT_EQ(r.localHitFraction, 0.29339999999999999);
+    EXPECT_EQ(r.diskReads, 8667u);
+    EXPECT_EQ(events, 1466866u);
+    EXPECT_EQ(now, 61610327825);
+}
+
+TEST(GoldenStats, TcpFastEthernetEightNodes)
+{
+    auto trace = goldenTrace();
+    core::PressConfig config;
+    config.protocol = core::Protocol::TcpFastEthernet;
+    config.nodes = 8;
+    std::uint64_t events = 0;
+    sim::Tick now = 0;
+    auto r = runGolden(config, trace, &events, &now);
+
+    EXPECT_EQ(r.throughput, 789.01000404008744);
+    EXPECT_EQ(r.avgLatencyMs, 838.33572286675053);
+    EXPECT_EQ(r.p99LatencyMs, 4105.5948402680779);
+    EXPECT_EQ(r.requestsMeasured, 20703u);
+    EXPECT_EQ(r.forwardFraction, 0.28915000000000002);
+    EXPECT_EQ(r.localHitFraction, 0.28670000000000001);
+    EXPECT_EQ(r.diskReads, 8483u);
+    EXPECT_EQ(events, 1725488u);
+    EXPECT_EQ(now, 61002992301);
+}
+
+TEST(GoldenStats, ViaV0FourNodes)
+{
+    auto trace = goldenTrace();
+    core::PressConfig config;
+    config.protocol = core::Protocol::ViaClan;
+    config.version = core::Version::V0;
+    config.nodes = 4;
+    std::uint64_t events = 0;
+    sim::Tick now = 0;
+    auto r = runGolden(config, trace, &events, &now);
+
+    EXPECT_EQ(r.throughput, 578.84591403127808);
+    EXPECT_EQ(r.avgLatencyMs, 574.84189742335059);
+    EXPECT_EQ(r.p99LatencyMs, 3953.5549513259143);
+    EXPECT_EQ(r.requestsMeasured, 20351u);
+    EXPECT_EQ(r.forwardFraction, 0.2848);
+    EXPECT_EQ(r.localHitFraction, 0.42564999999999997);
+    EXPECT_EQ(r.diskReads, 5791u);
+    EXPECT_EQ(events, 1029453u);
+    EXPECT_EQ(now, 100009484492);
+}

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -44,6 +47,79 @@ TEST(EventQueue, NextTimeOnEmpty)
     EventQueue q;
     EXPECT_EQ(q.nextTime(), MaxTick);
     EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, FireNextRunsInInsertionOrderAtEqualTimes)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i)
+        q.push(5, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.fireNext();
+    ASSERT_EQ(order.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, FireNextCallbackMayPushAtTheSameTick)
+{
+    // Slot storage is recycled; an event that schedules more work at
+    // its own tick must still run after everything pushed before it.
+    EventQueue q;
+    std::vector<int> order;
+    q.push(1, [&] {
+        order.push_back(0);
+        q.push(1, [&] { order.push_back(2); });
+    });
+    q.push(1, [&] { order.push_back(1); });
+    while (!q.empty())
+        q.fireNext();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, MixedTimesMatchReferenceOrdering)
+{
+    // Deterministic pseudo-random ticks with heavy collision; the
+    // queue must reproduce a stable sort by (tick, insertion order).
+    constexpr int kEvents = 5000;
+    EventQueue q;
+    std::vector<std::pair<Tick, int>> expected;
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    std::vector<int> fired;
+    for (int i = 0; i < kEvents; ++i) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        Tick when = static_cast<Tick>(state % 64);
+        expected.emplace_back(when, i);
+        q.push(when, [&fired, i] { fired.push_back(i); });
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    while (!q.empty())
+        q.fireNext();
+    ASSERT_EQ(fired.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(fired[i], expected[i].second) << "at position " << i;
+}
+
+TEST(EventQueue, SlotReuseKeepsFifoAcrossDrainCycles)
+{
+    // Drain and refill repeatedly so free-listed slots get reused with
+    // fresh sequence numbers; FIFO among equal ticks must survive.
+    EventQueue q;
+    for (int cycle = 0; cycle < 50; ++cycle) {
+        std::vector<int> order;
+        for (int i = 0; i < 37; ++i)
+            q.push(cycle, [&order, i] { order.push_back(i); });
+        while (!q.empty())
+            q.fireNext();
+        for (int i = 0; i < 37; ++i)
+            ASSERT_EQ(order[i], i) << "cycle " << cycle;
+    }
 }
 
 TEST(Simulator, ClockAdvancesToEventTimes)

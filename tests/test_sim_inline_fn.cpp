@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for InlineFn, the event kernel's inline-storage callable:
+ * capture sizes up to capacity, compile-time rejection beyond it,
+ * move-only captures, and destructor discipline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+#include "sim/event_queue.hpp"
+#include "sim/inline_fn.hpp"
+
+using press::sim::EventFn;
+using press::sim::InlineFn;
+
+TEST(InlineFn, EmptyByDefault)
+{
+    EventFn fn;
+    EXPECT_FALSE(fn);
+    EventFn null_fn = nullptr;
+    EXPECT_FALSE(null_fn);
+}
+
+TEST(InlineFn, SmallCaptureInvokes)
+{
+    int hits = 0;
+    EventFn fn = [&hits]() { ++hits; };
+    ASSERT_TRUE(fn);
+    fn();
+    fn();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, CaptureAtExactCapacityFits)
+{
+    // One pointer to the result plus padding to exactly 64 bytes.
+    struct Full {
+        int *out;
+        char pad[EventFn::capacity() - sizeof(int *)];
+    };
+    static_assert(sizeof(Full) == EventFn::capacity());
+    int result = 0;
+    Full full{&result, {}};
+    full.pad[0] = 42;
+    EventFn fn = [full]() { *full.out = full.pad[0]; };
+    fn();
+    EXPECT_EQ(result, 42);
+}
+
+TEST(InlineFn, OversizedCaptureIsRejectedAtCompileTime)
+{
+    struct Huge {
+        char bytes[EventFn::capacity() + 1];
+        void operator()() const {}
+    };
+    static_assert(!std::is_constructible_v<EventFn, Huge>,
+                  "a capture one byte over capacity must not convert");
+    struct Fits {
+        char bytes[EventFn::capacity()];
+        void operator()() const {}
+    };
+    static_assert(std::is_constructible_v<EventFn, Fits>);
+    // A wider instantiation accepts what EventFn rejects.
+    static_assert(std::is_constructible_v<InlineFn<96>, Huge>);
+}
+
+TEST(InlineFn, MoveOnlyCapture)
+{
+    auto value = std::make_unique<int>(7);
+    int seen = 0;
+    EventFn fn = [v = std::move(value), &seen]() { seen = *v; };
+    EXPECT_FALSE(value);
+    fn();
+    EXPECT_EQ(seen, 7);
+}
+
+TEST(InlineFn, MoveTransfersStateAndEmptiesSource)
+{
+    int hits = 0;
+    EventFn a = [&hits]() { ++hits; };
+    EventFn b = std::move(a);
+    EXPECT_FALSE(a); // NOLINT: testing the moved-from contract
+    ASSERT_TRUE(b);
+    b();
+    EXPECT_EQ(hits, 1);
+
+    EventFn c;
+    c = std::move(b);
+    EXPECT_FALSE(b); // NOLINT
+    ASSERT_TRUE(c);
+    c();
+    EXPECT_EQ(hits, 2);
+}
+
+namespace {
+
+/** Counts live instances through copies/moves/destructions. */
+struct Tracker {
+    static int live;
+    Tracker() { ++live; }
+    Tracker(const Tracker &) { ++live; }
+    Tracker(Tracker &&) noexcept { ++live; }
+    ~Tracker() { --live; }
+};
+int Tracker::live = 0;
+
+} // namespace
+
+TEST(InlineFn, NonTrivialCaptureIsDestroyedExactlyOnce)
+{
+    Tracker::live = 0;
+    {
+        EventFn fn = [t = Tracker()]() { (void)t; };
+        EXPECT_EQ(Tracker::live, 1);
+        EventFn moved = std::move(fn);
+        EXPECT_EQ(Tracker::live, 1);
+        moved = nullptr;
+        EXPECT_EQ(Tracker::live, 0);
+    }
+    EXPECT_EQ(Tracker::live, 0);
+}
+
+TEST(InlineFn, AssignmentReplacesOldCapture)
+{
+    Tracker::live = 0;
+    EventFn fn = [t = Tracker()]() { (void)t; };
+    EXPECT_EQ(Tracker::live, 1);
+    fn = [t = Tracker(), u = Tracker()]() { (void)t, (void)u; };
+    EXPECT_EQ(Tracker::live, 2);
+    fn = nullptr;
+    EXPECT_EQ(Tracker::live, 0);
+}
+
+TEST(InlineFn, TriviallyCopyableCaptureSurvivesRelocation)
+{
+    // The trivially-copyable fast path relocates by memcpy; make sure
+    // a full-width payload arrives intact.
+    std::array<unsigned char, 48> payload{};
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<unsigned char>(i * 7 + 1);
+    std::array<unsigned char, 48> seen{};
+    auto *out = &seen;
+    EventFn fn = [payload, out]() { *out = payload; };
+    EventFn moved = std::move(fn);
+    EventFn again = std::move(moved);
+    again();
+    EXPECT_EQ(seen, payload);
+}
