@@ -3,10 +3,16 @@
 #include <atomic>
 #include <cstring>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
+#include "obs/chrome_trace.hpp"
+#include "obs/summary.hpp"
+#include "obs/trace_io.hpp"
 #include "util/logging.hpp"
 
 namespace press::bench {
@@ -67,6 +73,8 @@ runCell(const Cell &cell, const Options &opts)
 {
     core::PressConfig config = cell.config;
     config.nodes = cell.nodes > 0 ? cell.nodes : opts.nodes;
+    if (opts.trace)
+        config.trace = true;
     core::PressCluster cluster(config, *cell.trace);
     return cluster.run(cell.maxRequests);
 }
@@ -89,9 +97,33 @@ Options::parse(int argc, char **argv)
             o.nodes = std::atoi(argv[++i]);
         } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
             o.jobs = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--trace")) {
+            o.trace = true;
+        } else if (!std::strcmp(argv[i], "--trace-dir") && i + 1 < argc) {
+            o.trace = true;
+            o.traceDir = argv[++i];
         } else if (!std::strcmp(argv[i], "--help")) {
-            std::cout << "options: --full | --quick | --requests N | "
-                         "--nodes N | --jobs N\n";
+            std::cout
+                << "usage: " << (argc > 0 ? argv[0] : "bench")
+                << " [options]\n"
+                   "  --full          replay the complete paper-scale "
+                   "traces (slow)\n"
+                   "  --quick         smoke run: cap each trace at "
+                   "120000 requests\n"
+                   "  --requests N    cap each trace at N requests "
+                   "(0 = no cap)\n"
+                   "  --nodes N       cluster size (default 8)\n"
+                   "  --jobs N        sweep worker threads (default: "
+                   "hardware concurrency);\n"
+                   "                  output is byte-identical for any "
+                   "N\n"
+                   "  --trace         record deterministic traces (see "
+                   "docs/observability.md)\n"
+                   "                  and export them per cell; "
+                   "PRESS_TRACE=1 also records\n"
+                   "  --trace-dir D   export directory for --trace "
+                   "(default: traces)\n"
+                   "  --help          this text\n";
             std::exit(0);
         } else {
             util::fatal("unknown option ", argv[i],
@@ -170,6 +202,51 @@ runOne(const workload::Trace &trace, core::PressConfig config,
     return runCell(cell, opts);
 }
 
+bool
+exportTraces(const std::string &bench_id, const ParallelRunner &runner,
+             const Options &opts)
+{
+    bool any = false;
+    bool ok = true;
+    for (std::size_t i = 0; i < runner.size(); ++i) {
+        const auto *data = runner[i].trace.get();
+        if (!data)
+            continue;
+        if (!any) {
+            std::filesystem::create_directories(opts.traceDir);
+            any = true;
+        }
+        std::string stem = opts.traceDir + "/" + bench_id + "_cell" +
+                           std::to_string(i);
+
+        std::ofstream json(stem + ".trace.json", std::ios::binary);
+        obs::writeChromeTrace(json, *data);
+        json.close();
+        if (!json)
+            util::fatal("cannot write ", stem, ".trace.json");
+
+        std::ofstream bin(stem + ".ptrace", std::ios::binary);
+        obs::writeTrace(bin, *data);
+        bin.close();
+        if (!bin)
+            util::fatal("cannot write ", stem, ".ptrace");
+
+        std::ostringstream diag;
+        if (!obs::crossCheck(*data, &diag)) {
+            std::cerr << bench_id << " cell " << i
+                      << ": span-vs-counter cross-check FAILED\n"
+                      << diag.str();
+            ok = false;
+        }
+    }
+    if (any)
+        std::cout << "traces: " << (ok ? "exported to "
+                                       : "cross-check FAILED under ")
+                  << opts.traceDir << "/ (" << bench_id
+                  << "_cell*.trace.json, *.ptrace)\n";
+    return ok;
+}
+
 void
 banner(const std::string &id, const std::string &what,
        const Options &opts)
@@ -180,6 +257,8 @@ banner(const std::string &id, const std::string &what,
                       ? std::to_string(opts.maxRequests) +
                             " requests/trace cap"
                       : std::string("full traces"))
+              << ", " << opts.resolvedJobs() << " worker thread"
+              << (opts.resolvedJobs() == 1 ? "" : "s")
               << "; shapes, not absolute req/s, are the reproduction "
                  "target)\n\n";
 }

@@ -38,6 +38,11 @@ struct Options {
     int jobs = 0; ///< sweep worker threads (0 = hardware concurrency)
     bool quick = false;
 
+    /** Trace every cell (also implied by PRESS_TRACE=1) and export the
+     *  rings to traceDir via exportTraces(). */
+    bool trace = false;
+    std::string traceDir = "traces";
+
     static Options parse(int argc, char **argv);
 
     /** Worker-thread count with the 0 default resolved; always >= 1. */
@@ -112,6 +117,19 @@ class ParallelRunner
 core::ClusterResults runOne(const workload::Trace &trace,
                             core::PressConfig config,
                             const Options &opts);
+
+/**
+ * Export every traced cell of a finished runner into opts.traceDir:
+ * <bench_id>_cell<k>.trace.json (Chrome trace_event, for Perfetto) and
+ * <bench_id>_cell<k>.ptrace (binary, for tools/press_trace), then run
+ * the Figure-1 span-vs-counter cross-check on each.
+ *
+ * @return true when every traced cell passed the cross-check (cells
+ *         without trace data are skipped); mismatch details go to
+ *         stderr. No-op returning true when tracing was off.
+ */
+bool exportTraces(const std::string &bench_id, const ParallelRunner &runner,
+                  const Options &opts);
 
 /** Print the standard bench header. */
 void banner(const std::string &id, const std::string &what,

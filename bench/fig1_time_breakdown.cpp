@@ -15,10 +15,31 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "obs/tracer.hpp"
+#include "osnode/node.hpp"
 
 using namespace press;
 using namespace press::bench;
 using namespace press::core;
+
+namespace {
+
+/** Figure-1 intra-comm share recomputed from trace spans alone. */
+double
+spanIntraShare(const obs::TraceData &data)
+{
+    sim::Tick intra = 0;
+    sim::Tick total = 0;
+    for (int n = 0; n < static_cast<int>(data.nodes); ++n)
+        for (int c = 0; c < static_cast<int>(data.categories.size()); ++c) {
+            total += data.spanBusy[n][c];
+            if (c == osnode::CatIntraComm)
+                intra += data.spanBusy[n][c];
+        }
+    return total > 0 ? static_cast<double>(intra) / total : 0.0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -40,17 +61,29 @@ main(int argc, char **argv)
     }
     runner.run();
 
+    bool traced = runner.size() > 0 && runner[0].trace != nullptr;
     util::TextTable t;
-    t.header({"trace", "variant", "Int.comm", "Ext.comm+Service",
-              "paper Int.comm"});
+    if (traced)
+        t.header({"trace", "variant", "Int.comm", "Int.comm (spans)",
+                  "Ext.comm+Service", "paper Int.comm"});
+    else
+        t.header({"trace", "variant", "Int.comm", "Ext.comm+Service",
+                  "paper Int.comm"});
     std::size_t k = 0;
     for (const auto &trace : traces.all()) {
         for (bool original : {true, false}) {
-            double intra = runner[k++].intraCommShare();
-            t.row({trace.name,
-                   original ? "original (L1)" : "piggy-back",
-                   util::fmtPct(intra), util::fmtPct(1.0 - intra),
-                   original ? "> 50%" : "-"});
+            const auto &r = runner[k++];
+            double intra = r.intraCommShare();
+            const char *variant =
+                original ? "original (L1)" : "piggy-back";
+            const char *paper = original ? "> 50%" : "-";
+            if (traced)
+                t.row({trace.name, variant, util::fmtPct(intra),
+                       util::fmtPct(spanIntraShare(*r.trace)),
+                       util::fmtPct(1.0 - intra), paper});
+            else
+                t.row({trace.name, variant, util::fmtPct(intra),
+                       util::fmtPct(1.0 - intra), paper});
         }
         t.separator();
     }
@@ -58,5 +91,7 @@ main(int argc, char **argv)
     std::cout << "\nPaper: Figure 1 shows > 50% of CPU time on "
                  "intra-cluster communication for all traces\n"
                  "(original PRESS, TCP over Fast Ethernet).\n";
+    if (!exportTraces("fig1", runner, opts))
+        return 1;
     return 0;
 }

@@ -103,8 +103,25 @@ main(int argc, char **argv)
 {
     const char *json_path = "BENCH_sim.json";
     for (int i = 1; i < argc; ++i) {
-        if (std::string_view(argv[i]) == "--json" && i + 1 < argc)
+        if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (std::string_view(argv[i]) == "--help") {
+            std::cout
+                << "usage: " << argv[0]
+                << " [options]\n"
+                   "Event-kernel microbench: schedules/runs 5M events "
+                   "and checks the\n"
+                   "steady-state allocation count stays at zero per "
+                   "event.\n"
+                   "  --json PATH   write results JSON (default: "
+                   "BENCH_sim.json)\n"
+                   "  --help        this text\n";
+            return 0;
+        } else {
+            std::cerr << "unknown option " << argv[i]
+                      << " (try --help)\n";
+            return 2;
+        }
     }
 
     // Throughput + allocation phase. Seeding the chains before the

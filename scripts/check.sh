@@ -4,11 +4,17 @@
 #   (a) tier-1 build + full ctest, with the VIA invariant checker on,
 #       plus an event-kernel microbench smoke run (allocs/event == 0)
 #   (b) AddressSanitizer + UBSan build + full ctest, checker still on
-#   (c) ThreadSanitizer build + the ParallelRunner sweep tests
-#   (d) lint pass (clang-tidy when available + project grep bans)
+#   (c) ThreadSanitizer build + the ParallelRunner sweep and tracing
+#       tests
+#   (d) trace determinism: PRESS_TRACE=1 Figure-1 runs must export
+#       byte-identical traces for --jobs 1 vs --jobs 4 and across
+#       reruns, pass the span-vs-counter cross-check, and produce
+#       valid Chrome JSON (see docs/observability.md)
+#   (e) lint pass (clang-tidy when available + project grep bans)
 #
 # Usage: scripts/check.sh [stage...]
-#   stage  any of: tier1 asan tsan lint (default: all four, in order)
+#   stage  any of: tier1 asan tsan trace lint (default: all five, in
+#          order)
 #
 # Separate build trees (build/, build-asan/, build-tsan/) keep the
 # sanitizer instrumentation out of the regular binaries.
@@ -16,7 +22,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [ $# -eq 0 ]; then
-    STAGES=(tier1 asan tsan lint)
+    STAGES=(tier1 asan tsan trace lint)
 else
     STAGES=("$@")
 fi
@@ -55,22 +61,51 @@ for stage in "${STAGES[@]}"; do
         run_stage "TSan build + ParallelRunner tests"
         cmake -B build-tsan -S . -G Ninja \
             -DPRESS_SANITIZE=thread -DPRESS_WERROR=ON
-        # Only what the sweep pool needs: the harness itself and the
-        # tests that drive clusters from multiple worker threads. A
-        # full TSan ctest pass would double CI time for single-
-        # threaded code.
+        # Only what the sweep pool needs: the harness itself, the
+        # tests that drive clusters from multiple worker threads, and
+        # the tracing structures those workers write through. A full
+        # TSan ctest pass would double CI time for single-threaded
+        # code.
         cmake --build build-tsan -j "$(nproc)" --target \
-            test_bench_parallel
+            test_bench_parallel test_obs
         TSAN_OPTIONS="halt_on_error=1" \
             ctest --test-dir build-tsan -j "$(nproc)" \
-            --output-on-failure -R "ParallelRunner|TraceSet"
+            --output-on-failure \
+            -R "ParallelRunner|TraceSet|TraceRing|Tracer|TracedCluster"
+        ;;
+    trace)
+        run_stage "trace determinism + cross-check"
+        cmake -B build -S . -G Ninja -DPRESS_WERROR=ON
+        cmake --build build -j "$(nproc)" --target \
+            fig1_time_breakdown press_trace
+        rm -rf build/trace-j1 build/trace-j4a build/trace-j4b
+        # Three identical Figure-1 sweeps: sequential, parallel, and a
+        # parallel rerun. The exported traces must be byte-identical —
+        # determinism is part of the subsystem's contract. fig1 itself
+        # exits nonzero if any cell's span-derived CPU attribution
+        # disagrees with the resource counters.
+        PRESS_TRACE=1 ./build/bench/fig1_time_breakdown \
+            --requests 20000 --jobs 1 --trace-dir build/trace-j1
+        PRESS_TRACE=1 ./build/bench/fig1_time_breakdown \
+            --requests 20000 --jobs 4 --trace-dir build/trace-j4a
+        PRESS_TRACE=1 ./build/bench/fig1_time_breakdown \
+            --requests 20000 --jobs 4 --trace-dir build/trace-j4b
+        diff -r build/trace-j1 build/trace-j4a
+        diff -r build/trace-j4a build/trace-j4b
+        echo "trace exports byte-identical across --jobs 1/4 and reruns"
+        for f in build/trace-j1/*.trace.json; do
+            ./build/tools/press_trace jsoncheck "$f"
+        done
+        for f in build/trace-j1/*.ptrace; do
+            ./build/tools/press_trace check "$f"
+        done
         ;;
     lint)
         run_stage "lint"
         scripts/lint.sh build
         ;;
     *)
-        echo "check.sh: unknown stage '$stage' (want tier1|asan|tsan|lint)" >&2
+        echo "check.sh: unknown stage '$stage' (want tier1|asan|tsan|trace|lint)" >&2
         exit 2
         ;;
     esac

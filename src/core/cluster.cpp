@@ -164,6 +164,29 @@ PressCluster::PressCluster(const PressConfig &config,
             _sim, _config, i, *_nodes[i], _trace.files, *_comms[i],
             _config.seed * 1315423911u + i));
 
+    // Observability: one tracer for the whole cluster, probes on every
+    // CPU and disk, and the comm/server instrumentation pointed at it.
+    // When tracing is off nothing is created and every site stays a
+    // null test.
+    if (_config.trace) {
+        std::vector<std::string> categories;
+        for (int c = 0; c < osnode::NumCpuCategories; ++c)
+            categories.emplace_back(osnode::cpuCategoryName(c));
+        _tracer = std::make_unique<obs::Tracer>(
+            _sim, _config.nodes, _config.traceEventsPerNode,
+            std::move(categories));
+        for (int i = 0; i < _config.nodes; ++i) {
+            _probes.push_back(std::make_unique<obs::ResourceProbe>(
+                *_tracer, i, obs::ResourceProbe::Kind::Cpu));
+            _nodes[i]->cpu().setListener(_probes.back().get());
+            _probes.push_back(std::make_unique<obs::ResourceProbe>(
+                *_tracer, i, obs::ResourceProbe::Kind::Disk));
+            _nodes[i]->disk().resource().setListener(_probes.back().get());
+            _comms[i]->setTracer(_tracer.get(), i);
+            _servers[i]->setTracer(_tracer.get());
+        }
+    }
+
     // Client slots.
     int total_clients = _config.clientsPerNode * _config.nodes;
     for (int c = 0; c < total_clients; ++c) {
@@ -392,6 +415,10 @@ PressCluster::resetForMeasurement()
         comm->txStats().reset();
     _internal->resetStats();
     _external->resetStats();
+    // The span-derived CPU aggregation resets at the same boundary as
+    // the resource counters, keeping the Figure-1 cross-check exact.
+    if (_tracer)
+        _tracer->resetAggregates();
 }
 
 ClusterResults
@@ -489,6 +516,14 @@ PressCluster::run(std::uint64_t max_requests)
                             static_cast<double>(busy_total);
     r.cpuUtilization = util_sum / _config.nodes;
     r.diskUtilization = disk_sum / _config.nodes;
+
+    if (_tracer) {
+        auto trace = std::make_shared<obs::TraceData>(_tracer->snapshot());
+        for (int i = 0; i < _config.nodes; ++i)
+            for (int c = 0; c < osnode::NumCpuCategories; ++c)
+                trace->counterBusy[i][c] = _nodes[i]->cpu().busyTime(c);
+        r.trace = std::move(trace);
+    }
 
     return r;
 }

@@ -60,6 +60,10 @@ struct ClusterResults {
     std::uint64_t diskReads = 0;
     std::uint64_t cacheInsertions = 0;
 
+    /** The run's trace snapshot (null unless config.trace was set).
+     *  Shared so results stay cheap to copy through sweep runners. */
+    std::shared_ptr<obs::TraceData> trace;
+
     /** Intra-cluster share of busy CPU time (the Figure 1 metric). */
     double intraCommShare() const;
 };
@@ -109,6 +113,9 @@ class PressCluster
      *  enables checking and the protocol is VIA/cLAN. */
     const check::ViaChecker *viaChecker() const { return _viaChecker.get(); }
 
+    /** The observability hub; null unless config.trace is set. */
+    obs::Tracer *tracer() { return _tracer.get(); }
+
     /** HTTP requests that failed to parse or resolve (0 for generated
      *  clients; exposed for fault-injection tests). */
     std::uint64_t badRequests() const { return _badRequests; }
@@ -129,6 +136,8 @@ class PressCluster
     std::unique_ptr<net::Fabric> _internal;
     std::unique_ptr<net::Fabric> _external;
     std::unique_ptr<check::ViaChecker> _viaChecker;
+    std::unique_ptr<obs::Tracer> _tracer;
+    std::vector<std::unique_ptr<obs::ResourceProbe>> _probes;
     std::vector<std::unique_ptr<osnode::Node>> _nodes;
     std::vector<std::unique_ptr<ClusterComm>> _comms;
     std::vector<std::unique_ptr<PressServer>> _servers;

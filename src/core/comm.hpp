@@ -18,6 +18,7 @@
 #include <functional>
 
 #include "core/messages.hpp"
+#include "obs/tracer.hpp"
 #include "sim/time.hpp"
 
 namespace press::core {
@@ -123,6 +124,26 @@ class ClusterComm
     const CommStats &txStats() const { return _tx; }
     CommStats &txStats() { return _tx; }
 
+    /**
+     * Attach the observability hub (null detaches); @p node is this
+     * end's node id. Backends override to instrument their internals
+     * (receive paths, credit arrivals, stalls) but must call the base.
+     */
+    virtual void
+    setTracer(obs::Tracer *tracer, int node)
+    {
+        _tracer = tracer;
+        _traceNode = node;
+        if (tracer) {
+            _txMsgsMetric = &tracer->metrics().counter("comm.tx.msgs", node);
+            _txBytesMetric =
+                &tracer->metrics().counter("comm.tx.bytes", node);
+        } else {
+            _txMsgsMetric = nullptr;
+            _txBytesMetric = nullptr;
+        }
+    }
+
   protected:
     /** Record an outgoing message for the Tables-2/4 accounting. */
     void
@@ -131,6 +152,13 @@ class ClusterComm
         auto &s = _tx.of(kind);
         ++s.msgs;
         s.bytes += bytes;
+        PRESS_TRACE_INSTANT(_tracer, _traceNode, obs::Ev::CommSend, 0,
+                            obs::packKindBytes(static_cast<int>(kind),
+                                               bytes));
+        if (_txMsgsMetric) {
+            _txMsgsMetric->add();
+            _txBytesMetric->add(bytes);
+        }
     }
 
     /** Deliver an arrived message to the server. */
@@ -151,6 +179,10 @@ class ClusterComm
     MessageHandler _handler;
     LoadProvider _loadProvider;
     CommStats _tx;
+    obs::Tracer *_tracer = nullptr;
+    int _traceNode = 0;
+    obs::Counter *_txMsgsMetric = nullptr;
+    obs::Counter *_txBytesMetric = nullptr;
 };
 
 } // namespace press::core

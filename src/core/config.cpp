@@ -61,6 +61,16 @@ viaCheckDefault()
     return ViaCheck::Abort;
 }
 
+bool
+traceDefault()
+{
+    const char *env = std::getenv("PRESS_TRACE");
+    if (!env)
+        return false;
+    std::string_view v(env);
+    return !(v.empty() || v == "0" || v == "off");
+}
+
 const char *
 versionName(Version v)
 {

@@ -87,6 +87,14 @@ const char *viaCheckName(ViaCheck c);
  */
 ViaCheck viaCheckDefault();
 
+/**
+ * Default tracing flag from the PRESS_TRACE environment variable:
+ * unset/"0"/"off" = disabled, anything else = enabled. Lets
+ * scripts/check.sh trace any existing bench without touching its
+ * sources.
+ */
+bool traceDefault();
+
 /** Load-information dissemination strategy (Section 3.3). */
 struct Dissemination {
     enum class Kind {
@@ -188,6 +196,15 @@ struct PressConfig {
     /** VIA invariant checking (Protocol::ViaClan only). Defaults to the
      *  PRESS_CHECK environment variable; see viaCheckDefault(). */
     ViaCheck viaCheck = viaCheckDefault();
+
+    /** Deterministic tracing & metrics (src/obs). Off costs nothing:
+     *  no Tracer is created and every instrumentation site is a single
+     *  null test. Defaults to the PRESS_TRACE environment variable. */
+    bool trace = traceDefault();
+
+    /** Per-node trace ring capacity (events retained; older events are
+     *  overwritten, aggregates stay complete). ~24 bytes per event. */
+    std::uint32_t traceEventsPerNode = 16384;
 
     Calibration calibration = Calibration::defaults();
 

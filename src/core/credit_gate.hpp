@@ -34,6 +34,9 @@ class CreditGate
      */
     using Observer = std::function<void(int credits, int window)>;
 
+    /** Fires once per stalled acquire (the tracing hook). */
+    using StallObserver = std::function<void()>;
+
     /**
      * Gated send thunk. Wider than sim::EventFn because the comm
      * backends capture a full post context (peer, ring addresses,
@@ -61,6 +64,8 @@ class CreditGate
             return true;
         }
         ++_stalls;
+        if (_onStall)
+            _onStall();
         _waiting.push_back(std::move(thunk));
         return false;
     }
@@ -88,6 +93,13 @@ class CreditGate
     /** Attach a mutation observer (empty function detaches). */
     void setObserver(Observer observer) { _observer = std::move(observer); }
 
+    /** Attach a stall observer (empty function detaches). */
+    void
+    setStallObserver(StallObserver observer)
+    {
+        _onStall = std::move(observer);
+    }
+
     int credits() const { return _credits; }
     int window() const { return _window; }
     std::size_t backlog() const { return _waiting.size(); }
@@ -106,6 +118,7 @@ class CreditGate
     util::RingQueue<Thunk> _waiting;
     std::uint64_t _stalls = 0;
     Observer _observer;
+    StallObserver _onStall;
 };
 
 /**

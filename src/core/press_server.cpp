@@ -33,6 +33,24 @@ PressServer::PressServer(sim::Simulator &sim, const PressConfig &config,
         _comm.setLoadProvider([this]() { return load(); });
 }
 
+void
+PressServer::setTracer(obs::Tracer *tracer)
+{
+    _tracer = tracer;
+    if (tracer) {
+        auto &m = tracer->metrics();
+        _requestsMetric = &m.counter("server.requests", _id);
+        _repliesMetric = &m.counter("server.replies", _id);
+        _forwardsMetric = &m.counter("server.forwards", _id);
+        _latencyMetric = &m.histogram("server.latency_ns", _id);
+    } else {
+        _requestsMetric = nullptr;
+        _repliesMetric = nullptr;
+        _forwardsMetric = nullptr;
+        _latencyMetric = nullptr;
+    }
+}
+
 sim::Tick
 PressServer::replyCost(std::uint64_t bytes) const
 {
@@ -51,6 +69,11 @@ PressServer::handleClientRequest(FileId file, ReplyFn on_reply)
     std::uint32_t tag = _nextTag++;
     _pending.emplace(tag, Pending{file, std::move(on_reply), _sim.now()});
 
+    PRESS_TRACE_ASYNC_BEGIN(_tracer, _id, obs::Ev::ReqLife,
+                            obs::requestId(_id, tag), file);
+    if (_requestsMetric)
+        _requestsMetric->add();
+
     sim::Tick cost = _cal.service.parse + _cal.service.loopPass +
                      _comm.perRequestOverhead();
     _node.cpu().submit(cost, CatService,
@@ -61,10 +84,16 @@ void
 PressServer::dispatch(FileId file, std::uint32_t tag)
 {
     std::uint64_t size = _files.size(file);
+    auto decided = [this, tag](obs::DispatchDecision d) {
+        PRESS_TRACE_INSTANT(_tracer, _id, obs::Ev::ReqDispatch,
+                            obs::requestId(_id, tag),
+                            static_cast<std::uint64_t>(d));
+    };
 
     // Content-oblivious / front-end-routed modes: whatever arrives is
     // served here, from the local cache or disk.
     if (_config.distribution != Distribution::LocalityConscious) {
+        decided(obs::DispatchDecision::Oblivious);
         serveLocal(file, tag, false);
         return;
     }
@@ -72,17 +101,20 @@ PressServer::dispatch(FileId file, std::uint32_t tag)
     // Rule 1: large files are always serviced by the initial node.
     if (size >= _config.largeFileCutoff) {
         ++_stats.largeFileServes;
+        decided(obs::DispatchDecision::LargeFile);
         serveLocal(file, tag, false);
         return;
     }
     // Rule 2: already cached here -> local.
     if (_cache.contains(file)) {
+        decided(obs::DispatchDecision::CachedLocal);
         serveLocal(file, tag, false);
         return;
     }
     // Rule 3: first access anywhere -> local (brings it into the
     // cluster cache).
     if (!_cacheDir.anyoneCaches(file)) {
+        decided(obs::DispatchDecision::FirstTouch);
         serveLocal(file, tag, false);
         return;
     }
@@ -97,6 +129,7 @@ PressServer::dispatch(FileId file, std::uint32_t tag)
     }
     PRESS_ASSERT(candidate >= 0, "directory said cached but empty mask");
     if (candidate == _id) {
+        decided(obs::DispatchDecision::SelfBest);
         serveLocal(file, tag, false);
         return;
     }
@@ -117,9 +150,15 @@ PressServer::dispatch(FileId file, std::uint32_t tag)
 
     if (forward) {
         ++_stats.forwardedOut;
+        decided(obs::DispatchDecision::Forward);
+        PRESS_TRACE_ASYNC_BEGIN(_tracer, _id, obs::Ev::ReqForward,
+                                obs::requestId(_id, tag), file);
+        if (_forwardsMetric)
+            _forwardsMetric->add();
         _comm.sendForward(candidate, ForwardMsg{file, tag});
     } else {
         ++_stats.overloadLocalServes;
+        decided(obs::DispatchDecision::OverloadLocal);
         serveLocal(file, tag, true);
     }
 }
@@ -161,18 +200,34 @@ PressServer::reply(std::uint32_t tag, std::uint64_t file_bytes,
 
     std::uint64_t bytes = file_bytes + _cal.sizes.httpReplyHeader;
     // Capture only the two Pending fields the completion needs; the
-    // whole struct would overflow EventFn's inline storage.
+    // whole struct would overflow EventFn's inline storage. The tag and
+    // buffer owner share one word for the same reason (the owner is a
+    // node id or -1, biased by one into the low half).
+    std::uint64_t tag_owner =
+        (static_cast<std::uint64_t>(tag) << 32) |
+        static_cast<std::uint32_t>(buffer_owner + 1);
     _node.cpu().submit(
         replyCost(bytes), CatClientComm,
         [this, start = pending.start,
-         on_reply = std::move(pending.onReply), bytes, buffer_owner]() {
+         on_reply = std::move(pending.onReply), bytes, tag_owner]() {
+            int buffer_owner =
+                static_cast<int>(tag_owner & 0xffffffffu) - 1;
+            auto tag = static_cast<std::uint32_t>(tag_owner >> 32);
             if (buffer_owner >= 0)
                 _comm.fileBufferDone(buffer_owner);
             ++_stats.replies;
+            PRESS_TRACE_INSTANT(_tracer, _id, obs::Ev::ReqReply,
+                                obs::requestId(_id, tag), bytes);
+            PRESS_TRACE_ASYNC_END(_tracer, _id, obs::Ev::ReqLife,
+                                  obs::requestId(_id, tag), bytes);
+            if (_repliesMetric)
+                _repliesMetric->add();
             if (start >= _statsEpoch) {
                 auto ns = static_cast<double>(_sim.now() - start);
                 _stats.latency.add(ns);
                 _stats.latencyHist.add(ns);
+                if (_latencyMetric)
+                    _latencyMetric->add(ns);
             }
             --_openConnections;
             loadChanged();
@@ -230,7 +285,15 @@ PressServer::handleForward(int from, const ForwardMsg &msg)
     std::uint32_t size = _files.size(file);
     std::uint32_t tag = msg.tag;
 
+    // The forwarded request keeps its cluster-wide id: derived from the
+    // *initial* node (the sender) and its tag, so this span joins the
+    // originating ReqLife/ReqForward spans in the exported trace.
+    PRESS_TRACE_ASYNC_BEGIN(_tracer, _id, obs::Ev::ReqService,
+                            obs::requestId(from, tag), file);
+
     auto send_back = [this, from, file, size, tag]() {
+        PRESS_TRACE_ASYNC_END(_tracer, _id, obs::Ev::ReqService,
+                              obs::requestId(from, tag), file);
         _comm.sendFile(from, FileMsg{file, tag, size});
         --_servicingRemote;
         loadChanged();
@@ -259,6 +322,8 @@ PressServer::handleFileArrival(int from, const FileMsg &msg)
 {
     // The initial node got the file; reply to the client straight away
     // (it deliberately does not cache the file).
+    PRESS_TRACE_ASYNC_END(_tracer, _id, obs::Ev::ReqForward,
+                          obs::requestId(_id, msg.tag), msg.file);
     reply(msg.tag, msg.bytes, /*buffer_owner=*/from);
 }
 

@@ -105,6 +105,9 @@ class PressServer
     const LoadDirectory &loadDirectory() const { return _loadDir; }
     int id() const { return _id; }
 
+    /** Attach the observability hub (null detaches). */
+    void setTracer(obs::Tracer *tracer);
+
   private:
     struct Pending {
         storage::FileId file;
@@ -151,6 +154,12 @@ class PressServer
     storage::FileCache _cache;
     CacheDirectory _cacheDir;
     LoadDirectory _loadDir;
+
+    obs::Tracer *_tracer = nullptr;
+    obs::Counter *_requestsMetric = nullptr;
+    obs::Counter *_repliesMetric = nullptr;
+    obs::Counter *_forwardsMetric = nullptr;
+    stats::LogHistogram *_latencyMetric = nullptr;
 
     sim::Tick _statsEpoch = 0;
     int _openConnections = 0;

@@ -102,6 +102,9 @@ TcpComm::handleArrival(const net::Payload &payload)
     _cpu.submit(_cal.tcp.serverRecv, CatIntraComm, [this, payload]() {
         const auto *w = net::payloadAs<WireMsg>(payload);
         PRESS_ASSERT(w, "foreign payload on PRESS channel");
+        PRESS_TRACE_INSTANT(
+            _tracer, _traceNode, obs::Ev::CommRecv, 0,
+            obs::packKindBytes(static_cast<int>(w->kind), 0));
         deliver(toIncoming(*w, payload));
     });
 }

@@ -270,6 +270,35 @@ ViaComm::linkMesh(std::vector<std::unique_ptr<ViaComm>> &comms)
             c->armRecvThread();
 }
 
+void
+ViaComm::setTracer(obs::Tracer *tracer, int node)
+{
+    ClusterComm::setTracer(tracer, node);
+    // Stalls are per (peer, channel): each gate gets its own observer so
+    // the trace says which window ran dry.
+    for (auto &peer : _peers) {
+        if (!peer)
+            continue;
+        auto stall = [this, tracer, node](FlowChannel channel) {
+            CreditGate::StallObserver observer;
+            if (tracer)
+                observer = [tracer, node, channel]() {
+                    tracer->instant(
+                        node, obs::Ev::CommStall, 0,
+                        static_cast<std::uint64_t>(channel));
+                    tracer->metrics()
+                        .counter("comm.stalls", node)
+                        .add();
+                };
+            return observer;
+        };
+        peer->regularGate.setStallObserver(stall(FlowChannel::Regular));
+        peer->forwardGate.setStallObserver(stall(FlowChannel::Forward));
+        peer->cachingGate.setStallObserver(stall(FlowChannel::Caching));
+        peer->fileGate.setStallObserver(stall(FlowChannel::File));
+    }
+}
+
 bool
 ViaComm::usesRmw(MsgKind kind) const
 {
@@ -574,6 +603,8 @@ ViaComm::processRegular(via::DescriptorPtr desc,
     PRESS_ASSERT(w, "foreign payload on PRESS VI");
     MsgKind kind = w->kind;
     std::uint64_t bytes = desc->bytesDone;
+    PRESS_TRACE_INSTANT(_tracer, _traceNode, obs::Ev::CommRecv, 0,
+                        obs::packKindBytes(static_cast<int>(kind), bytes));
 
     // Replenish the descriptor immediately (NIC-side, free) so ungated
     // flow traffic never overruns.
@@ -612,6 +643,9 @@ ViaComm::consumeRmwControl(int from, const net::Payload &payload)
                 [this, &peer, payload]() {
                     const auto *w = net::payloadAs<WireMsg>(payload);
                     PRESS_ASSERT(w, "bad ring payload");
+                    PRESS_TRACE_INSTANT(
+                        _tracer, _traceNode, obs::Ev::CommRmwWrite, 0,
+                        obs::packKindBytes(static_cast<int>(w->kind), 0));
                     deliver(toIncoming(*w, payload));
                     if (w->kind == MsgKind::Forward)
                         peer.forwardReturn->consumed();
@@ -630,6 +664,9 @@ ViaComm::consumeRmwFile(int from, const net::Payload &payload)
     PRESS_ASSERT(file, "file metadata without FileMsg body");
 
     bool zero_copy_rx = static_cast<int>(_config.version) >= 4;
+    PRESS_TRACE_INSTANT(_tracer, _traceNode, obs::Ev::CommRmwWrite, 0,
+                        obs::packKindBytes(
+                            static_cast<int>(MsgKind::File), file->bytes));
     sim::Tick cost = _cal.via.rmwRecvFile +
                      (zero_copy_rx ? 0 : copyCost(file->bytes));
 
@@ -674,6 +711,10 @@ void
 ViaComm::creditArrived(int from, const FlowMsg &flow)
 {
     Peer &peer = *_peers.at(from);
+    PRESS_TRACE_INSTANT(
+        _tracer, _traceNode, obs::Ev::CommCredit, 0,
+        obs::packKindBytes(static_cast<int>(flow.channel),
+                           static_cast<std::uint64_t>(flow.credits)));
     switch (flow.channel) {
       case FlowChannel::Regular:
         peer.regularGate.release(flow.credits);

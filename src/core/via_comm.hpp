@@ -78,6 +78,9 @@ class ViaComm : public ClusterComm
      *  once after constructing every ViaComm. */
     static void linkMesh(std::vector<std::unique_ptr<ViaComm>> &comms);
 
+    /** Also instruments the credit gates' stall paths. */
+    void setTracer(obs::Tracer *tracer, int node) override;
+
     void sendLoad(int dst, const LoadMsg &msg) override;
     void sendForward(int dst, const ForwardMsg &msg) override;
     void sendCaching(int dst, const CachingMsg &msg) override;

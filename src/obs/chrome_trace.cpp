@@ -1,0 +1,444 @@
+#include "chrome_trace.hpp"
+
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+namespace press::obs {
+
+namespace {
+
+/** Thread-track ids within each node's process. */
+enum Track : int {
+    TrackRequests = 1,
+    TrackComm = 2,
+    TrackCpu = 3,
+    TrackDisk = 4,
+};
+
+int
+trackOf(Ev code)
+{
+    switch (code) {
+      case Ev::ReqLife:
+      case Ev::ReqForward:
+      case Ev::ReqService:
+      case Ev::ReqDispatch:
+      case Ev::ReqReply:
+        return TrackRequests;
+      case Ev::CommSend:
+      case Ev::CommRecv:
+      case Ev::CommRmwWrite:
+      case Ev::CommCredit:
+      case Ev::CommStall:
+        return TrackComm;
+      case Ev::CpuJob:
+        return TrackCpu;
+      case Ev::DiskRead:
+        return TrackDisk;
+      default:
+        return 0; // counters carry no track
+    }
+}
+
+const char *
+trackName(int track)
+{
+    switch (track) {
+      case TrackRequests:
+        return "requests";
+      case TrackComm:
+        return "comm";
+      case TrackCpu:
+        return "cpu";
+      case TrackDisk:
+        return "disk";
+      default:
+        return "?";
+    }
+}
+
+void
+escapeJson(std::ostream &os, std::string_view s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+                   << "0123456789abcdef"[c & 0xf];
+            else
+                os << c;
+        }
+    }
+}
+
+/** Exact ns -> µs rendering: integer quotient plus 3-digit fraction. */
+void
+writeTs(std::ostream &os, sim::Tick tick_ns)
+{
+    sim::Tick us = tick_ns / 1000;
+    sim::Tick frac = tick_ns % 1000;
+    os << us << '.';
+    os << static_cast<char>('0' + frac / 100)
+       << static_cast<char>('0' + (frac / 10) % 10)
+       << static_cast<char>('0' + frac % 10);
+}
+
+/** Event-specific "args" object, or nothing when there is no payload. */
+void
+writeArgs(std::ostream &os, const TraceEvent &e,
+          const std::vector<std::string> &categories)
+{
+    switch (e.code) {
+      case Ev::CpuJob: {
+        std::size_t cat = static_cast<std::size_t>(e.arg);
+        os << ",\"args\":{\"category\":\"";
+        if (cat < categories.size())
+            escapeJson(os, categories[cat]);
+        else
+            os << "cat" << e.arg;
+        os << "\"}";
+        break;
+      }
+      case Ev::DiskRead:
+        if (e.phase == Phase::End)
+            os << ",\"args\":{\"busy_ns\":" << e.arg << "}";
+        break;
+      case Ev::ReqDispatch:
+        os << ",\"args\":{\"decision\":\""
+           << dispatchDecisionName(
+                  static_cast<DispatchDecision>(e.arg & 0xff))
+           << "\"}";
+        break;
+      case Ev::ReqLife:
+        if (e.phase == Phase::AsyncBegin)
+            os << ",\"args\":{\"file\":" << e.arg << "}";
+        else
+            os << ",\"args\":{\"bytes\":" << e.arg << "}";
+        break;
+      case Ev::ReqForward:
+      case Ev::ReqService:
+        os << ",\"args\":{\"file\":" << e.arg << "}";
+        break;
+      case Ev::ReqReply:
+        os << ",\"args\":{\"bytes\":" << e.arg << "}";
+        break;
+      case Ev::CommSend:
+      case Ev::CommRecv:
+      case Ev::CommRmwWrite:
+        os << ",\"args\":{\"kind\":" << unpackKind(e.arg)
+           << ",\"bytes\":" << unpackBytes(e.arg) << "}";
+        break;
+      case Ev::CommCredit:
+        os << ",\"args\":{\"channel\":" << unpackKind(e.arg)
+           << ",\"credits\":" << unpackBytes(e.arg) << "}";
+        break;
+      case Ev::CommStall:
+        os << ",\"args\":{\"channel\":" << e.arg << "}";
+        break;
+      default:
+        break;
+    }
+}
+
+class EventWriter
+{
+  public:
+    explicit EventWriter(std::ostream &os) : _os(os) {}
+
+    std::ostream &
+    next()
+    {
+        if (_first)
+            _first = false;
+        else
+            _os << ",\n";
+        return _os;
+    }
+
+  private:
+    std::ostream &_os;
+    bool _first = true;
+};
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const TraceData &data)
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    EventWriter w(os);
+
+    // Metadata: name each node's process and every track we may use.
+    for (std::uint32_t n = 0; n < data.nodes; ++n) {
+        w.next() << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << n
+                 << ",\"tid\":0,\"args\":{\"name\":\"node " << n << "\"}}";
+        for (int t = TrackRequests; t <= TrackDisk; ++t) {
+            w.next() << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+                     << n << ",\"tid\":" << t << ",\"args\":{\"name\":\""
+                     << trackName(t) << "\"}}";
+        }
+    }
+
+    for (std::uint32_t n = 0; n < data.nodes; ++n) {
+        for (const TraceEvent &e : data.events[n]) {
+            std::ostream &line = w.next();
+            if (e.phase == Phase::Counter) {
+                line << "{\"name\":\"" << evName(e.code)
+                     << "\",\"ph\":\"C\",\"ts\":";
+                writeTs(line, e.tick);
+                line << ",\"pid\":" << static_cast<int>(e.node)
+                     << ",\"tid\":0,\"args\":{\"depth\":" << e.arg << "}}";
+                continue;
+            }
+            line << "{\"name\":\"" << evName(e.code) << "\",\"cat\":\""
+                 << trackName(trackOf(e.code)) << "\",\"ph\":\""
+                 << phaseName(e.phase) << "\"";
+            if (e.phase == Phase::AsyncBegin ||
+                e.phase == Phase::AsyncEnd)
+                line << ",\"id\":" << e.req;
+            line << ",\"ts\":";
+            writeTs(line, e.tick);
+            line << ",\"pid\":" << static_cast<int>(e.node)
+                 << ",\"tid\":" << trackOf(e.code);
+            if (e.phase == Phase::Instant)
+                line << ",\"s\":\"t\"";
+            writeArgs(line, e, data.categories);
+            line << "}";
+        }
+    }
+
+    os << "\n]}\n";
+}
+
+namespace {
+
+/** Strict-enough recursive-descent JSON checker. */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(std::string_view text) : _text(text) {}
+
+    bool
+    run(std::string *error)
+    {
+        bool ok = value() && (skipWs(), _pos == _text.size());
+        if (!ok && error) {
+            std::ostringstream msg;
+            msg << "invalid JSON near offset " << _pos;
+            *error = msg.str();
+        }
+        return ok;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (_pos < _text.size() &&
+               (_text[_pos] == ' ' || _text[_pos] == '\t' ||
+                _text[_pos] == '\n' || _text[_pos] == '\r'))
+            ++_pos;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (_text.substr(_pos, word.size()) != word)
+            return false;
+        _pos += word.size();
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (_pos >= _text.size() || _text[_pos] != '"')
+            return false;
+        ++_pos;
+        while (_pos < _text.size()) {
+            char c = _text[_pos];
+            if (c == '"') {
+                ++_pos;
+                return true;
+            }
+            if (c == '\\') {
+                ++_pos;
+                if (_pos >= _text.size())
+                    return false;
+                char esc = _text[_pos];
+                if (esc == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++_pos;
+                        if (_pos >= _text.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                _text[_pos])))
+                            return false;
+                    }
+                } else if (esc != '"' && esc != '\\' && esc != '/' &&
+                           esc != 'b' && esc != 'f' && esc != 'n' &&
+                           esc != 'r' && esc != 't') {
+                    return false;
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return false;
+            }
+            ++_pos;
+        }
+        return false;
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = _pos;
+        if (_pos < _text.size() && _text[_pos] == '-')
+            ++_pos;
+        std::size_t digits = 0;
+        while (_pos < _text.size() &&
+               std::isdigit(static_cast<unsigned char>(_text[_pos]))) {
+            ++_pos;
+            ++digits;
+        }
+        if (digits == 0) {
+            _pos = start;
+            return false;
+        }
+        if (_pos < _text.size() && _text[_pos] == '.') {
+            ++_pos;
+            digits = 0;
+            while (_pos < _text.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(_text[_pos]))) {
+                ++_pos;
+                ++digits;
+            }
+            if (digits == 0)
+                return false;
+        }
+        if (_pos < _text.size() &&
+            (_text[_pos] == 'e' || _text[_pos] == 'E')) {
+            ++_pos;
+            if (_pos < _text.size() &&
+                (_text[_pos] == '+' || _text[_pos] == '-'))
+                ++_pos;
+            digits = 0;
+            while (_pos < _text.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(_text[_pos]))) {
+                ++_pos;
+                ++digits;
+            }
+            if (digits == 0)
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    value()
+    {
+        skipWs();
+        if (_pos >= _text.size())
+            return false;
+        switch (_text[_pos]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++_pos; // '{'
+        skipWs();
+        if (_pos < _text.size() && _text[_pos] == '}') {
+            ++_pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (_pos >= _text.size() || _text[_pos] != ':')
+                return false;
+            ++_pos;
+            if (!value())
+                return false;
+            skipWs();
+            if (_pos >= _text.size())
+                return false;
+            if (_text[_pos] == '}') {
+                ++_pos;
+                return true;
+            }
+            if (_text[_pos] != ',')
+                return false;
+            ++_pos;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++_pos; // '['
+        skipWs();
+        if (_pos < _text.size() && _text[_pos] == ']') {
+            ++_pos;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            skipWs();
+            if (_pos >= _text.size())
+                return false;
+            if (_text[_pos] == ']') {
+                ++_pos;
+                return true;
+            }
+            if (_text[_pos] != ',')
+                return false;
+            ++_pos;
+        }
+    }
+
+    std::string_view _text;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+bool
+validateJson(std::string_view text, std::string *error)
+{
+    return JsonChecker(text).run(error);
+}
+
+} // namespace press::obs

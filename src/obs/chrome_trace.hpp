@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Chrome trace_event JSON export.
+ *
+ * Converts a TraceData snapshot into the Trace Event Format consumed by
+ * Perfetto (ui.perfetto.dev) and chrome://tracing: one process per node,
+ * one named thread-track per event family (requests, comm, cpu, disk),
+ * sync B/E spans for serially-occupied resources, async b/e spans joined
+ * by request id for the overlapping request lifecycles, instants and
+ * counters for the rest.
+ *
+ * The writer formats everything from integers (the microsecond timestamps
+ * are rendered as ns/1000 with an exact 3-digit fraction, never through
+ * floating point), so the same TraceData always produces the same bytes.
+ */
+
+#ifndef PRESS_OBS_CHROME_TRACE_HPP
+#define PRESS_OBS_CHROME_TRACE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obs/tracer.hpp"
+
+namespace press::obs {
+
+/** Write @p data as a complete Chrome trace_event JSON document. */
+void writeChromeTrace(std::ostream &os, const TraceData &data);
+
+/**
+ * Minimal strict JSON well-formedness check (objects, arrays, strings,
+ * numbers, literals; rejects trailing garbage). Used by the check
+ * pipeline to validate exports without external tooling.
+ *
+ * @param text   the document
+ * @param error  when non-null, receives a position-stamped message on
+ *               failure
+ */
+bool validateJson(std::string_view text, std::string *error = nullptr);
+
+} // namespace press::obs
+
+#endif // PRESS_OBS_CHROME_TRACE_HPP

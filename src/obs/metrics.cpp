@@ -1,0 +1,107 @@
+#include "metrics.hpp"
+
+#include <ostream>
+
+#include "util/logging.hpp"
+
+namespace press::obs {
+
+MetricsRegistry::MetricsRegistry(int nodes) : _nodes(nodes)
+{
+    PRESS_ASSERT(nodes >= 1, "metrics registry needs nodes");
+}
+
+namespace {
+
+template <typename T>
+T &
+slot(std::map<std::string, std::vector<T>> &metrics,
+     const std::string &name, int node, int nodes)
+{
+    PRESS_ASSERT(node >= 0 && node < nodes, "metric '", name,
+                 "': node ", node, " out of range");
+    auto it = metrics.find(name);
+    if (it == metrics.end())
+        it = metrics.emplace(name, std::vector<T>(nodes)).first;
+    return it->second[node];
+}
+
+} // namespace
+
+Counter &
+MetricsRegistry::counter(const std::string &name, int node)
+{
+    return slot(_counters, name, node, _nodes);
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, int node)
+{
+    return slot(_gauges, name, node, _nodes);
+}
+
+stats::LogHistogram &
+MetricsRegistry::histogram(const std::string &name, int node)
+{
+    return slot(_histograms, name, node, _nodes);
+}
+
+std::vector<MetricSample>
+MetricsRegistry::snapshot() const
+{
+    std::vector<MetricSample> out;
+    for (const auto &[name, per_node] : _counters) {
+        std::uint64_t total = 0;
+        for (int i = 0; i < _nodes; ++i) {
+            out.push_back({name, i, per_node[i].value()});
+            total += per_node[i].value();
+        }
+        out.push_back({name, -1, total});
+    }
+    for (const auto &[name, per_node] : _gauges) {
+        std::int64_t peak = 0;
+        for (int i = 0; i < _nodes; ++i) {
+            out.push_back({name, i,
+                           static_cast<std::uint64_t>(per_node[i].max())});
+            if (per_node[i].max() > peak)
+                peak = per_node[i].max();
+        }
+        out.push_back({name, -1, static_cast<std::uint64_t>(peak)});
+    }
+    for (const auto &[name, per_node] : _histograms) {
+        std::uint64_t total = 0;
+        for (int i = 0; i < _nodes; ++i) {
+            out.push_back({name, i, per_node[i].count()});
+            total += per_node[i].count();
+        }
+        out.push_back({name, -1, total});
+    }
+    return out;
+}
+
+void
+MetricsRegistry::writeText(std::ostream &os) const
+{
+    for (const auto &s : snapshot()) {
+        if (s.node < 0)
+            os << s.name << " cluster " << s.value << "\n";
+        else
+            os << s.name << " node" << s.node << " " << s.value << "\n";
+    }
+}
+
+void
+MetricsRegistry::reset()
+{
+    for (auto &[name, per_node] : _counters)
+        for (auto &c : per_node)
+            c.reset();
+    for (auto &[name, per_node] : _gauges)
+        for (auto &g : per_node)
+            g.reset();
+    for (auto &[name, per_node] : _histograms)
+        for (auto &h : per_node)
+            h.reset();
+}
+
+} // namespace press::obs

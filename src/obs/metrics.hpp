@@ -1,0 +1,109 @@
+/**
+ * @file
+ * MetricsRegistry: named counters, gauges and histograms with per-node
+ * slots and cluster rollups.
+ *
+ * Instrumented code registers a metric once at setup time and holds the
+ * returned reference — updates on the hot path are a single add/compare,
+ * never a name lookup. Names live in a sorted map, so snapshots and the
+ * text dump enumerate metrics in a deterministic order regardless of
+ * registration order.
+ */
+
+#ifndef PRESS_OBS_METRICS_HPP
+#define PRESS_OBS_METRICS_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace press::obs {
+
+/** Monotonic event count. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1) { _value += n; }
+    std::uint64_t value() const { return _value; }
+    void reset() { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Last-written value plus its high-water mark. */
+class Gauge
+{
+  public:
+    void
+    set(std::int64_t v)
+    {
+        _value = v;
+        if (v > _max)
+            _max = v;
+    }
+
+    std::int64_t value() const { return _value; }
+    std::int64_t max() const { return _max; }
+
+    void
+    reset()
+    {
+        _value = 0;
+        _max = 0;
+    }
+
+  private:
+    std::int64_t _value = 0;
+    std::int64_t _max = 0;
+};
+
+/** One flattened metric sample (for snapshots and serialization). */
+struct MetricSample {
+    std::string name;        ///< registered name
+    int node = -1;           ///< owning node; -1 = cluster rollup
+    std::uint64_t value = 0; ///< counter value / gauge max / hist count
+};
+
+/** Per-node metric slots under deterministic names. */
+class MetricsRegistry
+{
+  public:
+    explicit MetricsRegistry(int nodes);
+
+    int nodes() const { return _nodes; }
+
+    /** Register-or-find; the reference stays valid for the registry's
+     *  lifetime. @p node must be in [0, nodes). @{ */
+    Counter &counter(const std::string &name, int node);
+    Gauge &gauge(const std::string &name, int node);
+    stats::LogHistogram &histogram(const std::string &name, int node);
+    /** @} */
+
+    /**
+     * Every per-node sample plus a cluster rollup row per name
+     * (counters/histogram counts sum, gauges take the max), sorted by
+     * name then node.
+     */
+    std::vector<MetricSample> snapshot() const;
+
+    /** "name node value" lines, one per snapshot() row. */
+    void writeText(std::ostream &os) const;
+
+    /** Zero every metric (the measurement-window boundary). */
+    void reset();
+
+  private:
+    int _nodes;
+    std::map<std::string, std::vector<Counter>> _counters;
+    std::map<std::string, std::vector<Gauge>> _gauges;
+    std::map<std::string, std::vector<stats::LogHistogram>> _histograms;
+};
+
+} // namespace press::obs
+
+#endif // PRESS_OBS_METRICS_HPP

@@ -1,0 +1,120 @@
+#include "summary.hpp"
+
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace press::obs {
+
+namespace {
+
+std::int64_t
+rowTotal(const std::vector<std::int64_t> &row)
+{
+    std::int64_t total = 0;
+    for (std::int64_t v : row)
+        total += v;
+    return total;
+}
+
+} // namespace
+
+void
+writeSummary(std::ostream &os, const TraceData &data)
+{
+    std::size_t ncats = data.categories.size();
+
+    // Figure-1 CPU breakdown, span-derived, with counter totals beside.
+    util::TextTable cpu;
+    std::vector<std::string> head{"node"};
+    for (const auto &cat : data.categories)
+        head.push_back(cat);
+    head.push_back("total ns");
+    head.push_back("counter ns");
+    cpu.header(std::move(head));
+
+    std::vector<std::int64_t> cluster_span(ncats, 0);
+    std::int64_t cluster_counter = 0;
+    for (std::uint32_t n = 0; n < data.nodes; ++n) {
+        std::int64_t span_total = rowTotal(data.spanBusy[n]);
+        std::int64_t counter_total = rowTotal(data.counterBusy[n]);
+        cluster_counter += counter_total;
+        std::vector<std::string> cells{"node" + std::to_string(n)};
+        for (std::size_t c = 0; c < ncats; ++c) {
+            cluster_span[c] += data.spanBusy[n][c];
+            double share =
+                span_total > 0
+                    ? static_cast<double>(data.spanBusy[n][c]) /
+                          static_cast<double>(span_total)
+                    : 0.0;
+            cells.push_back(util::fmtPct(share));
+        }
+        cells.push_back(util::fmtInt(span_total));
+        cells.push_back(util::fmtInt(counter_total));
+        cpu.row(std::move(cells));
+    }
+    cpu.separator();
+    std::int64_t cluster_total = rowTotal(cluster_span);
+    std::vector<std::string> cells{"cluster"};
+    for (std::size_t c = 0; c < ncats; ++c) {
+        double share = cluster_total > 0
+                           ? static_cast<double>(cluster_span[c]) /
+                                 static_cast<double>(cluster_total)
+                           : 0.0;
+        cells.push_back(util::fmtPct(share));
+    }
+    cells.push_back(util::fmtInt(cluster_total));
+    cells.push_back(util::fmtInt(cluster_counter));
+    cpu.row(std::move(cells));
+
+    os << "CPU time breakdown (span-derived):\n" << cpu.render();
+    os << (crossCheck(data)
+               ? "cross-check: span-derived == counter-derived (exact)\n"
+               : "cross-check: MISMATCH between spans and counters\n");
+
+    util::TextTable rings;
+    rings.header({"node", "emitted", "retained", "dropped"});
+    for (std::uint32_t n = 0; n < data.nodes; ++n) {
+        std::uint64_t retained = data.events[n].size();
+        rings.row({"node" + std::to_string(n),
+                   util::fmtInt(static_cast<long long>(data.emitted[n])),
+                   util::fmtInt(static_cast<long long>(retained)),
+                   util::fmtInt(static_cast<long long>(data.emitted[n] -
+                                                       retained))});
+    }
+    os << "\nTrace rings:\n" << rings.render();
+
+    if (!data.metrics.empty()) {
+        util::TextTable metrics;
+        metrics.header({"metric", "scope", "value"});
+        for (const MetricSample &m : data.metrics)
+            metrics.row({m.name,
+                         m.node < 0 ? "cluster"
+                                    : "node" + std::to_string(m.node),
+                         util::fmtInt(static_cast<long long>(m.value))});
+        os << "\nMetrics:\n" << metrics.render();
+    }
+}
+
+bool
+crossCheck(const TraceData &data, std::ostream *diag)
+{
+    bool ok = true;
+    for (std::uint32_t n = 0; n < data.nodes; ++n) {
+        for (std::size_t c = 0; c < data.categories.size(); ++c) {
+            std::int64_t span = data.spanBusy[n][c];
+            std::int64_t counter = data.counterBusy[n][c];
+            if (span == counter)
+                continue;
+            ok = false;
+            if (diag)
+                *diag << "cross-check mismatch: node " << n << " '"
+                      << data.categories[c] << "': spans " << span
+                      << " ns vs counters " << counter << " ns (delta "
+                      << (span - counter) << ")\n";
+        }
+    }
+    return ok;
+}
+
+} // namespace press::obs

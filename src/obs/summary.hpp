@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Text trace summary: the Figure-1 CPU-time breakdown recomputed from
+ * spans, with a self-validating cross-check against the resource
+ * category counters.
+ *
+ * Two independent accounting paths exist for the same quantity: the
+ * FifoResource accrues busy time per category as jobs complete, and the
+ * Tracer accrues it from CpuJob span durations. They must agree to the
+ * tick — any divergence means an instrumentation bug (a lost span, a
+ * double count, a drifting clock), so crossCheck() is wired into the
+ * check pipeline as a hard failure.
+ */
+
+#ifndef PRESS_OBS_SUMMARY_HPP
+#define PRESS_OBS_SUMMARY_HPP
+
+#include <iosfwd>
+
+#include "obs/tracer.hpp"
+
+namespace press::obs {
+
+/**
+ * Render the per-node and cluster Figure-1 breakdown (span-derived, with
+ * the counter-derived totals alongside), ring statistics, and metrics.
+ */
+void writeSummary(std::ostream &os, const TraceData &data);
+
+/**
+ * Compare span-derived and counter-derived CPU attribution cell by cell.
+ *
+ * @param diag  when non-null, receives one line per mismatching
+ *              (node, category) cell
+ * @return true when every cell matches exactly
+ */
+bool crossCheck(const TraceData &data, std::ostream *diag = nullptr);
+
+} // namespace press::obs
+
+#endif // PRESS_OBS_SUMMARY_HPP

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Binary .ptrace serialization of TraceData.
+ *
+ * The on-disk format is the in-memory one: little-endian fixed-width
+ * integers, the 24-byte TraceEvent records verbatim, length-prefixed
+ * strings. A trailing section carries the span/counter busy matrices and
+ * the metric samples, so a .ptrace file is self-contained — the
+ * `press_trace` CLI can re-render the summary, re-run the Figure-1
+ * cross-check, or convert to Chrome JSON without the simulator.
+ */
+
+#ifndef PRESS_OBS_TRACE_IO_HPP
+#define PRESS_OBS_TRACE_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/tracer.hpp"
+
+namespace press::obs {
+
+/** Format magic ("PTRC") and current version. */
+inline constexpr std::uint32_t kTraceMagic = 0x43525450u;
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/** Serialize @p data to a binary stream (opened in binary mode). */
+void writeTrace(std::ostream &os, const TraceData &data);
+
+/**
+ * Parse a .ptrace stream back into @p data.
+ *
+ * @return true on success; on failure @p error (when non-null) says why
+ *         and @p data is left in an unspecified state.
+ */
+bool readTrace(std::istream &is, TraceData &data,
+               std::string *error = nullptr);
+
+} // namespace press::obs
+
+#endif // PRESS_OBS_TRACE_IO_HPP

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * TraceRing: a fixed-capacity flight recorder of TraceEvents.
+ *
+ * The ring is sized once (PressConfig::traceEventsPerNode) and never
+ * allocates afterwards: pushing into a full ring overwrites the oldest
+ * record, keeping the most recent window — the useful part when a run
+ * ends in the state you want to inspect. The total emitted count is kept
+ * alongside so exporters can report how much history was dropped, and
+ * aggregate quantities (the Figure-1 CPU attribution) are accumulated
+ * outside the ring so bounded capacity never distorts them.
+ */
+
+#ifndef PRESS_OBS_TRACE_RING_HPP
+#define PRESS_OBS_TRACE_RING_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace_event.hpp"
+#include "util/logging.hpp"
+
+namespace press::obs {
+
+/** A bounded, overwriting event buffer. */
+class TraceRing
+{
+  public:
+    explicit TraceRing(std::size_t capacity) : _events(capacity)
+    {
+        PRESS_ASSERT(capacity > 0, "trace ring needs capacity");
+    }
+
+    /** Record one event; overwrites the oldest when full. */
+    void
+    push(const TraceEvent &e)
+    {
+        _events[_next] = e;
+        if (++_next == _events.size())
+            _next = 0;
+        ++_emitted;
+    }
+
+    std::size_t capacity() const { return _events.size(); }
+
+    /** Events recorded over the ring's lifetime (not just retained). */
+    std::uint64_t emitted() const { return _emitted; }
+
+    /** Events currently retained: min(emitted, capacity). */
+    std::size_t
+    size() const
+    {
+        return _emitted < _events.size()
+                   ? static_cast<std::size_t>(_emitted)
+                   : _events.size();
+    }
+
+    /** Events overwritten by wraparound. */
+    std::uint64_t dropped() const { return _emitted - size(); }
+
+    /** Retained event @p i, oldest first (0 <= i < size()). */
+    const TraceEvent &
+    at(std::size_t i) const
+    {
+        PRESS_ASSERT(i < size(), "trace ring index ", i, " out of range");
+        std::size_t oldest = _emitted < _events.size() ? 0 : _next;
+        std::size_t idx = oldest + i;
+        if (idx >= _events.size())
+            idx -= _events.size();
+        return _events[idx];
+    }
+
+    /** Copy the retained events out, oldest first. */
+    std::vector<TraceEvent>
+    snapshot() const
+    {
+        std::vector<TraceEvent> out;
+        out.reserve(size());
+        for (std::size_t i = 0; i < size(); ++i)
+            out.push_back(at(i));
+        return out;
+    }
+
+    /** Forget everything (capacity is kept). */
+    void
+    clear()
+    {
+        _next = 0;
+        _emitted = 0;
+    }
+
+  private:
+    std::vector<TraceEvent> _events;
+    std::size_t _next = 0;
+    std::uint64_t _emitted = 0;
+};
+
+} // namespace press::obs
+
+#endif // PRESS_OBS_TRACE_RING_HPP

@@ -58,6 +58,9 @@ class Disk
     /** Reset statistics (e.g. at a measurement boundary). */
     void resetStats() { _queue.resetStats(); }
 
+    /** The underlying queueing resource (for attaching observers). */
+    sim::FifoResource &resource() { return _queue; }
+
     const DiskParams &params() const { return _params; }
 
   private:

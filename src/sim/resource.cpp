@@ -30,9 +30,13 @@ FifoResource::submit(Tick service, int category, EventFn on_done)
     if (_busy) {
         _queue.push_back(std::move(job));
         _maxDepth = std::max(_maxDepth, _queue.size() + 1);
+        if (_listener)
+            _listener->depthChanged(*this, _queue.size() + 1);
     } else {
         _maxDepth = std::max<std::size_t>(_maxDepth, 1);
         start(std::move(job));
+        if (_listener)
+            _listener->depthChanged(*this, 1);
     }
 }
 
@@ -42,6 +46,8 @@ FifoResource::start(Job job)
     _busy = true;
     Tick service = job.service;
     _current = std::move(job);
+    if (_listener)
+        _listener->jobStarted(*this, _current.category);
     _sim.schedule(service, [this]() { complete(); });
 }
 
@@ -55,6 +61,8 @@ FifoResource::complete()
     _busyByCat[category] += _current.service;
     ++_completed;
     _busy = false;
+    if (_listener)
+        _listener->jobFinished(*this, category, _current.service);
     // The next job starts (and schedules its completion) before the
     // finished job's callback runs — the same event ordering as the
     // original closure-per-job implementation, so runs stay identical.
@@ -64,6 +72,9 @@ FifoResource::complete()
         _queue.pop_front();
         start(std::move(next));
     }
+    if (_listener)
+        _listener->depthChanged(*this,
+                                _queue.size() + (_busy ? 1 : 0));
     if (on_done)
         on_done();
 }

@@ -21,6 +21,36 @@
 
 namespace press::sim {
 
+class FifoResource;
+
+/**
+ * Observer of one FifoResource's service activity. The observability
+ * layer (src/obs) implements this to turn jobs into trace spans and
+ * queue depths into counter samples; with no listener attached every
+ * hook is a single null-pointer test on the hot path.
+ */
+class ResourceListener
+{
+  public:
+    virtual ~ResourceListener() = default;
+
+    /** A job entered service at the simulator's current time. */
+    virtual void jobStarted(const FifoResource &res, int category) = 0;
+
+    /**
+     * The job in service finished; @p busy is the effective busy time
+     * the resource charged to @p category (service / speed) — exactly
+     * what busyTime(category) accrued, so listeners can reproduce the
+     * resource's accounting without drift.
+     */
+    virtual void jobFinished(const FifoResource &res, int category,
+                             Tick busy) = 0;
+
+    /** The queue depth (waiting + in service) changed to @p depth. */
+    virtual void depthChanged(const FifoResource &res,
+                              std::size_t depth) = 0;
+};
+
 /**
  * A single-server FIFO queueing resource with per-category busy-time
  * accounting.
@@ -80,6 +110,9 @@ class FifoResource
     /** Reset all statistics (not the queue). */
     void resetStats();
 
+    /** Attach an activity observer (null detaches). */
+    void setListener(ResourceListener *listener) { _listener = listener; }
+
     const std::string &name() const { return _name; }
 
   private:
@@ -98,6 +131,7 @@ class FifoResource
     Job _current; ///< job in service; the completion event captures
                   ///< only `this`, so every closure stays pointer-sized
     double _speed = 1.0;
+    ResourceListener *_listener = nullptr;
     bool _busy = false;
     Tick _busyTotal = 0;
     Tick _statsStart = 0;

@@ -106,6 +106,46 @@ TEST(LogHistogram, QuantilesOrdered)
     EXPECT_LT(q50, 10000);
 }
 
+TEST(LogHistogram, EmptyQuantileIsZero)
+{
+    LogHistogram h;
+    EXPECT_EQ(h.quantile(0.0), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    EXPECT_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(LogHistogram, SingleSampleQuantileStaysInBucket)
+{
+    LogHistogram h;
+    h.add(5); // bucket 2: [4, 8)
+    // Every quantile of a one-sample histogram must land inside that
+    // sample's bucket, with q=0/q=1 pinned to its edges.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 4.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);
+    for (double q : {0.1, 0.5, 0.9}) {
+        EXPECT_GE(h.quantile(q), 4.0);
+        EXPECT_LE(h.quantile(q), 8.0);
+    }
+}
+
+TEST(LogHistogram, AllEqualSamplesGiveExactMedian)
+{
+    LogHistogram h;
+    for (int i = 0; i < 1000; ++i)
+        h.add(3); // bucket 1: [2, 4); uniform-in-bucket median = 3
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
+TEST(LogHistogram, OutOfRangeQuantileClamps)
+{
+    LogHistogram h;
+    h.add(3);
+    EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
 TEST(LogHistogram, NegativeClampsToZeroBucket)
 {
     LogHistogram h;

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for util::RingQueue: FIFO order across wraparound, growth while
+ * wrapped, and move-only element support — the properties the simulator
+ * hot paths (resource queues, credit backlogs, pending sends) rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/ring_queue.hpp"
+
+using press::util::RingQueue;
+
+TEST(RingQueue, StartsEmpty)
+{
+    RingQueue<int> q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(RingQueue, FifoOrder)
+{
+    RingQueue<int> q;
+    for (int i = 0; i < 5; ++i)
+        q.push_back(i);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(q.front(), i);
+        q.pop_front();
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueue, WrapsAroundAtCapacity)
+{
+    // The initial buffer holds 8 slots. Keep the queue at a steady
+    // depth below that while pushing far more elements than the
+    // capacity, so head/tail wrap the power-of-two mask many times;
+    // FIFO order must survive every wrap without growing.
+    RingQueue<int> q;
+    int next_in = 0;
+    int next_out = 0;
+    for (int i = 0; i < 6; ++i)
+        q.push_back(next_in++);
+    for (int round = 0; round < 100; ++round) {
+        q.push_back(next_in++);
+        q.push_back(next_in++);
+        EXPECT_EQ(q.front(), next_out);
+        q.pop_front();
+        ++next_out;
+        EXPECT_EQ(q.front(), next_out);
+        q.pop_front();
+        ++next_out;
+        EXPECT_EQ(q.size(), 6u);
+    }
+    while (!q.empty()) {
+        EXPECT_EQ(q.front(), next_out++);
+        q.pop_front();
+    }
+    EXPECT_EQ(next_out, next_in);
+}
+
+TEST(RingQueue, GrowsWhileWrapped)
+{
+    // Wrap the head past the start of the buffer, then push through
+    // several capacity doublings (8 -> 16 -> ... -> 512). grow() must
+    // relinearize the wrapped contents in FIFO order.
+    RingQueue<int> q;
+    int next_in = 0;
+    int next_out = 0;
+    for (int i = 0; i < 8; ++i)
+        q.push_back(next_in++); // fill the initial capacity exactly
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(q.front(), next_out++);
+        q.pop_front(); // head now mid-buffer
+    }
+    for (int i = 0; i < 500; ++i)
+        q.push_back(next_in++); // wraps, then grows repeatedly
+    EXPECT_EQ(q.size(), 503u);
+    while (!q.empty()) {
+        EXPECT_EQ(q.front(), next_out++);
+        q.pop_front();
+    }
+    EXPECT_EQ(next_out, next_in);
+}
+
+TEST(RingQueue, DrainToEmptyAndReuse)
+{
+    RingQueue<int> q;
+    for (int round = 0; round < 20; ++round) {
+        for (int i = 0; i < 7; ++i)
+            q.push_back(round * 100 + i);
+        for (int i = 0; i < 7; ++i) {
+            EXPECT_EQ(q.front(), round * 100 + i);
+            q.pop_front();
+        }
+        EXPECT_TRUE(q.empty());
+    }
+}
+
+TEST(RingQueue, MoveOnlyElements)
+{
+    RingQueue<std::unique_ptr<int>> q;
+    for (int i = 0; i < 40; ++i) {
+        q.push_back(std::make_unique<int>(i));
+        if (i % 3 == 2) {
+            // pop_front resets the vacated slot, so the element's
+            // ownership must have fully moved out by then.
+            std::unique_ptr<int> out = std::move(q.front());
+            q.pop_front();
+            ASSERT_TRUE(out);
+        }
+    }
+    int expect = 40 - static_cast<int>(q.size());
+    while (!q.empty()) {
+        ASSERT_TRUE(q.front());
+        EXPECT_GE(*q.front(), 0);
+        q.pop_front();
+        ++expect;
+    }
+    EXPECT_EQ(expect, 40);
+}

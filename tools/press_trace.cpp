@@ -1,0 +1,284 @@
+/**
+ * @file
+ * press_trace: offline viewer/converter for .ptrace files.
+ *
+ * A .ptrace file (obs/trace_io) is a self-contained snapshot of one
+ * traced cluster run: the retained per-node event rings, the span- and
+ * counter-derived CPU attribution, and the metrics. This tool works on
+ * those files without the simulator:
+ *
+ *   press_trace info    run.ptrace             header + ring statistics
+ *   press_trace dump    run.ptrace [filters]   one text line per event
+ *   press_trace summary run.ptrace             Figure-1 breakdown + metrics
+ *   press_trace check   run.ptrace             span-vs-counter cross-check
+ *   press_trace json    run.ptrace [out.json]  convert to Chrome trace JSON
+ *   press_trace jsoncheck file.json            strict well-formedness check
+ *
+ * dump filters: --node N, --code NAME (e.g. comm.send), --req ID,
+ * --limit N. Exit status is 0 on success, 1 on a failed check, 2 on
+ * usage or I/O errors.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/summary.hpp"
+#include "obs/trace_io.hpp"
+#include "obs/tracer.hpp"
+
+using namespace press;
+
+namespace {
+
+int
+usage(std::ostream &os)
+{
+    os << "usage: press_trace <command> <file> [options]\n"
+          "  info    FILE.ptrace                 header and ring stats\n"
+          "  dump    FILE.ptrace [--node N] [--code NAME] [--req ID] "
+          "[--limit N]\n"
+          "  summary FILE.ptrace                 Figure-1 breakdown + "
+          "metrics\n"
+          "  check   FILE.ptrace                 span-vs-counter "
+          "cross-check\n"
+          "  json    FILE.ptrace [OUT.json]      convert to Chrome "
+          "trace_event JSON\n"
+          "  jsoncheck FILE.json                 validate JSON "
+          "well-formedness\n";
+    return &os == &std::cout ? 0 : 2;
+}
+
+bool
+load(const char *path, obs::TraceData &data)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::cerr << "press_trace: cannot open " << path << "\n";
+        return false;
+    }
+    std::string error;
+    if (!obs::readTrace(in, data, &error)) {
+        std::cerr << "press_trace: " << path << ": " << error << "\n";
+        return false;
+    }
+    return true;
+}
+
+/** Decode an event's arg into something human-readable. */
+std::string
+describeArg(const obs::TraceData &data, const obs::TraceEvent &e)
+{
+    std::ostringstream os;
+    switch (e.code) {
+    case obs::Ev::CommSend:
+    case obs::Ev::CommRecv:
+    case obs::Ev::CommRmwWrite:
+        os << "kind=" << obs::unpackKind(e.arg)
+           << " bytes=" << obs::unpackBytes(e.arg);
+        break;
+    case obs::Ev::CommCredit:
+        os << "channel=" << obs::unpackKind(e.arg)
+           << " credits=" << obs::unpackBytes(e.arg);
+        break;
+    case obs::Ev::CommStall:
+        os << "channel=" << e.arg;
+        break;
+    case obs::Ev::CpuJob: {
+        auto cat = static_cast<std::size_t>(e.arg);
+        if (e.phase == obs::Phase::Begin && cat < data.categories.size())
+            os << "category=" << data.categories[cat];
+        else if (e.phase == obs::Phase::End)
+            os << "busy_ns=" << e.arg;
+        else
+            os << "arg=" << e.arg;
+        break;
+    }
+    case obs::Ev::DiskRead:
+        if (e.phase == obs::Phase::End)
+            os << "busy_ns=" << e.arg;
+        else
+            os << "bytes=" << e.arg;
+        break;
+    case obs::Ev::ReqDispatch:
+        os << "decision="
+           << obs::dispatchDecisionName(
+                  static_cast<obs::DispatchDecision>(e.arg));
+        break;
+    case obs::Ev::CpuDepth:
+    case obs::Ev::DiskDepth:
+        os << "depth=" << e.arg;
+        break;
+    default:
+        os << "arg=" << e.arg;
+        break;
+    }
+    return os.str();
+}
+
+int
+cmdInfo(const obs::TraceData &data)
+{
+    std::cout << "nodes: " << data.nodes << "\ncategories:";
+    for (const auto &c : data.categories)
+        std::cout << " " << c;
+    std::cout << "\n";
+    std::uint64_t retained = 0;
+    for (std::uint32_t n = 0; n < data.nodes; ++n) {
+        std::uint64_t kept = data.events[n].size();
+        retained += kept;
+        std::cout << "node " << n << ": emitted " << data.emitted[n]
+                  << ", retained " << kept << ", dropped "
+                  << data.emitted[n] - kept << "\n";
+    }
+    std::cout << "events retained: " << retained
+              << "\nmetric samples: " << data.metrics.size() << "\n";
+    return 0;
+}
+
+int
+cmdDump(const obs::TraceData &data, int argc, char **argv)
+{
+    int node = -1;
+    std::int64_t req = -1;
+    std::uint64_t limit = 0;
+    const char *code_name = nullptr;
+    for (int i = 0; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--node") && i + 1 < argc)
+            node = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--code") && i + 1 < argc)
+            code_name = argv[++i];
+        else if (!std::strcmp(argv[i], "--req") && i + 1 < argc)
+            req = std::strtoll(argv[++i], nullptr, 0);
+        else if (!std::strcmp(argv[i], "--limit") && i + 1 < argc)
+            limit = std::strtoull(argv[++i], nullptr, 10);
+        else
+            return usage(std::cerr);
+    }
+
+    // Merge the per-node rings into one time-ordered stream. Each ring
+    // is already sorted, so a repeated min-scan over the node cursors is
+    // enough (node count is small).
+    std::vector<std::size_t> cursor(data.nodes, 0);
+    std::uint64_t printed = 0;
+    for (;;) {
+        int best = -1;
+        for (std::uint32_t n = 0; n < data.nodes; ++n) {
+            if (cursor[n] >= data.events[n].size())
+                continue;
+            if (best < 0 ||
+                data.events[n][cursor[n]].tick <
+                    data.events[static_cast<std::size_t>(best)]
+                        [cursor[static_cast<std::size_t>(best)]]
+                            .tick)
+                best = static_cast<int>(n);
+        }
+        if (best < 0)
+            break;
+        const obs::TraceEvent &e =
+            data.events[static_cast<std::size_t>(best)]
+                       [cursor[static_cast<std::size_t>(best)]++];
+        if (node >= 0 && e.node != node)
+            continue;
+        if (code_name && std::strcmp(obs::evName(e.code), code_name))
+            continue;
+        if (req >= 0 && e.req != static_cast<std::uint32_t>(req))
+            continue;
+        std::cout << e.tick << " node=" << static_cast<int>(e.node)
+                  << " " << obs::evName(e.code) << " "
+                  << obs::phaseName(e.phase);
+        if (e.req)
+            std::cout << " req=" << e.req;
+        std::cout << " " << describeArg(data, e) << "\n";
+        if (limit && ++printed >= limit)
+            break;
+    }
+    return 0;
+}
+
+int
+cmdCheck(const obs::TraceData &data)
+{
+    std::ostringstream diag;
+    if (!obs::crossCheck(data, &diag)) {
+        std::cerr << "cross-check FAILED\n" << diag.str();
+        return 1;
+    }
+    std::cout << "cross-check: span-derived == counter-derived "
+                 "(exact)\n";
+    return 0;
+}
+
+int
+cmdJson(const obs::TraceData &data, int argc, char **argv)
+{
+    if (argc >= 1) {
+        std::ofstream out(argv[0], std::ios::binary);
+        if (!out) {
+            std::cerr << "press_trace: cannot write " << argv[0] << "\n";
+            return 2;
+        }
+        obs::writeChromeTrace(out, data);
+        return out ? 0 : 2;
+    }
+    obs::writeChromeTrace(std::cout, data);
+    return 0;
+}
+
+int
+cmdJsonCheck(const char *path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::cerr << "press_trace: cannot open " << path << "\n";
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    std::string error;
+    if (!obs::validateJson(text, &error)) {
+        std::cerr << path << ": invalid JSON: " << error << "\n";
+        return 1;
+    }
+    std::cout << path << ": valid JSON (" << text.size() << " bytes)\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2 && (!std::strcmp(argv[1], "--help") ||
+                      !std::strcmp(argv[1], "help")))
+        return usage(std::cout);
+    if (argc < 3)
+        return usage(std::cerr);
+    const char *cmd = argv[1];
+    const char *path = argv[2];
+
+    if (!std::strcmp(cmd, "jsoncheck"))
+        return cmdJsonCheck(path);
+
+    obs::TraceData data;
+    if (!load(path, data))
+        return 2;
+    if (!std::strcmp(cmd, "info"))
+        return cmdInfo(data);
+    if (!std::strcmp(cmd, "dump"))
+        return cmdDump(data, argc - 3, argv + 3);
+    if (!std::strcmp(cmd, "summary")) {
+        obs::writeSummary(std::cout, data);
+        return cmdCheck(data);
+    }
+    if (!std::strcmp(cmd, "check"))
+        return cmdCheck(data);
+    if (!std::strcmp(cmd, "json"))
+        return cmdJson(data, argc - 3, argv + 3);
+    return usage(std::cerr);
+}
