@@ -75,6 +75,10 @@ runCell(const Cell &cell, const Options &opts)
     config.nodes = cell.nodes > 0 ? cell.nodes : opts.nodes;
     if (opts.trace)
         config.trace = true;
+    if (opts.permuteSeed != 0) {
+        config.tieBreak = sim::TieBreak::SeededPermute;
+        config.tieBreakSeed = opts.permuteSeed;
+    }
     core::PressCluster cluster(config, *cell.trace);
     return cluster.run(cell.maxRequests);
 }
@@ -97,6 +101,8 @@ Options::parse(int argc, char **argv)
             o.nodes = std::atoi(argv[++i]);
         } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
             o.jobs = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+            o.permuteSeed = std::strtoull(argv[++i], nullptr, 0);
         } else if (!std::strcmp(argv[i], "--trace")) {
             o.trace = true;
         } else if (!std::strcmp(argv[i], "--trace-dir") && i + 1 < argc) {
@@ -117,6 +123,10 @@ Options::parse(int argc, char **argv)
                    "hardware concurrency);\n"
                    "                  output is byte-identical for any "
                    "N\n"
+                   "  --seed S        permute equal-tick event order "
+                   "under seed S (0 = FIFO);\n"
+                   "                  results should not move — a shift "
+                   "exposes a tick-race\n"
                    "  --trace         record deterministic traces (see "
                    "docs/observability.md)\n"
                    "                  and export them per cell; "

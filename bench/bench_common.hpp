@@ -38,6 +38,15 @@ struct Options {
     int jobs = 0; ///< sweep worker threads (0 = hardware concurrency)
     bool quick = false;
 
+    /**
+     * Nonzero runs every cell under the event kernel's SeededPermute
+     * tie-break with this seed: equal-tick events fire in a permuted
+     * cross-domain order (see check::TickRaceHunter). Results should
+     * not move; a shift exposes a tick-race. 0 = FIFO, the default
+     * bit-identical ordering.
+     */
+    std::uint64_t permuteSeed = 0;
+
     /** Trace every cell (also implied by PRESS_TRACE=1) and export the
      *  rings to traceDir via exportTraces(). */
     bool trace = false;

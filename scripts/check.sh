@@ -10,19 +10,29 @@
 #       byte-identical traces for --jobs 1 vs --jobs 4 and across
 #       reruns, pass the span-vs-counter cross-check, and produce
 #       valid Chrome JSON (see docs/observability.md)
-#   (e) lint pass (clang-tidy when available + project grep bans)
+#   (e) races: the determinism race hunt — press_races reruns the
+#       golden scenarios under K seeded equal-tick permutations and
+#       checks every cross-domain edge against its lookahead bound;
+#       the emitted lookahead table must be byte-identical across
+#       --jobs values (see docs/static-analysis.md)
+#   (f) lint pass (clang-tidy when available + project grep bans,
+#       including the nondeterminism bans)
 #
 # Usage: scripts/check.sh [stage...]
-#   stage  any of: tier1 asan tsan trace lint (default: all five, in
-#          order)
+#   stage  any of: tier1 asan tsan trace races lint (default: all six,
+#          in order)
+#
+# Every requested stage runs even when an earlier one fails; the
+# summary table at the end shows per-stage pass/fail and the script
+# exits nonzero if anything failed.
 #
 # Separate build trees (build/, build-asan/, build-tsan/) keep the
 # sanitizer instrumentation out of the regular binaries.
-set -euo pipefail
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
 if [ $# -eq 0 ]; then
-    STAGES=(tier1 asan tsan trace lint)
+    STAGES=(tier1 asan tsan trace races lint)
 else
     STAGES=("$@")
 fi
@@ -31,85 +41,121 @@ fi
 # the first VIA protocol violation aborts the offending test.
 export PRESS_CHECK="${PRESS_CHECK:-1}"
 
-run_stage() {
-    echo
-    echo "===== check.sh: $1 ====="
+stage_tier1() {
+    cmake -B build -S . -G Ninja -DPRESS_WERROR=ON
+    cmake --build build -j "$(nproc)"
+    ctest --test-dir build -j "$(nproc)" --output-on-failure
+    # Kernel smoke: the microbench exits nonzero if the zero-
+    # allocation contract breaks (JSON lands in the build tree).
+    ./build/bench/sim_micro --json build/BENCH_sim.json
 }
+
+stage_asan() {
+    cmake -B build-asan -S . -G Ninja \
+        -DPRESS_SANITIZE="address;undefined" -DPRESS_WERROR=ON
+    cmake --build build-asan -j "$(nproc)"
+    # abort_on_error makes ASan findings fail the test like a panic;
+    # detect_leaks stays on (the default) to catch ownership slips.
+    ASAN_OPTIONS="abort_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+        ctest --test-dir build-asan -j "$(nproc)" --output-on-failure
+}
+
+stage_tsan() {
+    cmake -B build-tsan -S . -G Ninja \
+        -DPRESS_SANITIZE=thread -DPRESS_WERROR=ON
+    # Only what the sweep pool needs: the harness itself, the tests
+    # that drive clusters from multiple worker threads, and the
+    # tracing structures those workers write through. A full TSan
+    # ctest pass would double CI time for single-threaded code.
+    cmake --build build-tsan -j "$(nproc)" --target \
+        test_bench_parallel test_obs
+    TSAN_OPTIONS="halt_on_error=1" \
+        ctest --test-dir build-tsan -j "$(nproc)" \
+        --output-on-failure \
+        -R "ParallelRunner|TraceSet|TraceRing|Tracer|TracedCluster"
+}
+
+stage_trace() {
+    cmake -B build -S . -G Ninja -DPRESS_WERROR=ON
+    cmake --build build -j "$(nproc)" --target \
+        fig1_time_breakdown press_trace
+    rm -rf build/trace-j1 build/trace-j4a build/trace-j4b
+    # Three identical Figure-1 sweeps: sequential, parallel, and a
+    # parallel rerun. The exported traces must be byte-identical —
+    # determinism is part of the subsystem's contract. fig1 itself
+    # exits nonzero if any cell's span-derived CPU attribution
+    # disagrees with the resource counters.
+    PRESS_TRACE=1 ./build/bench/fig1_time_breakdown \
+        --requests 20000 --jobs 1 --trace-dir build/trace-j1
+    PRESS_TRACE=1 ./build/bench/fig1_time_breakdown \
+        --requests 20000 --jobs 4 --trace-dir build/trace-j4a
+    PRESS_TRACE=1 ./build/bench/fig1_time_breakdown \
+        --requests 20000 --jobs 4 --trace-dir build/trace-j4b
+    diff -r build/trace-j1 build/trace-j4a
+    diff -r build/trace-j4a build/trace-j4b
+    echo "trace exports byte-identical across --jobs 1/4 and reruns"
+    for f in build/trace-j1/*.trace.json; do
+        ./build/tools/press_trace jsoncheck "$f"
+    done
+    for f in build/trace-j1/*.ptrace; do
+        ./build/tools/press_trace check "$f"
+    done
+}
+
+stage_races() {
+    cmake -B build -S . -G Ninja -DPRESS_WERROR=ON
+    cmake --build build -j "$(nproc)" --target press_races
+    # Tick-race hunt + causality check over the golden scenarios:
+    # K=8 seeded permutations of the equal-tick cross-domain firing
+    # order per scenario, compared against the FIFO baseline, then a
+    # Record-mode causality pass emitting the measured per-link
+    # minimum-lookahead table. The table must not depend on the
+    # worker count — run twice and diff.
+    ./build/tools/press_races --seeds 8 --jobs "$(nproc)" \
+        --requests 20000 --table build/lookahead-j4.txt
+    ./build/tools/press_races --seeds 8 --jobs 1 \
+        --requests 20000 --table build/lookahead-j1.txt
+    diff build/lookahead-j1.txt build/lookahead-j4.txt
+    echo "lookahead table byte-identical across --jobs values"
+}
+
+stage_lint() {
+    scripts/lint.sh build
+}
+
+declare -a RESULTS=()
+OVERALL=0
 
 for stage in "${STAGES[@]}"; do
     case "$stage" in
-    tier1)
-        run_stage "tier-1 build + ctest (PRESS_CHECK=$PRESS_CHECK)"
-        cmake -B build -S . -G Ninja -DPRESS_WERROR=ON
-        cmake --build build -j "$(nproc)"
-        ctest --test-dir build -j "$(nproc)" --output-on-failure
-        # Kernel smoke: the microbench exits nonzero if the zero-
-        # allocation contract breaks (JSON lands in the build tree).
-        ./build/bench/sim_micro --json build/BENCH_sim.json
-        ;;
-    asan)
-        run_stage "ASan+UBSan build + ctest (PRESS_CHECK=$PRESS_CHECK)"
-        cmake -B build-asan -S . -G Ninja \
-            -DPRESS_SANITIZE="address;undefined" -DPRESS_WERROR=ON
-        cmake --build build-asan -j "$(nproc)"
-        # abort_on_error makes ASan findings fail the test like a panic;
-        # detect_leaks stays on (the default) to catch ownership slips.
-        ASAN_OPTIONS="abort_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
-            ctest --test-dir build-asan -j "$(nproc)" --output-on-failure
-        ;;
-    tsan)
-        run_stage "TSan build + ParallelRunner tests"
-        cmake -B build-tsan -S . -G Ninja \
-            -DPRESS_SANITIZE=thread -DPRESS_WERROR=ON
-        # Only what the sweep pool needs: the harness itself, the
-        # tests that drive clusters from multiple worker threads, and
-        # the tracing structures those workers write through. A full
-        # TSan ctest pass would double CI time for single-threaded
-        # code.
-        cmake --build build-tsan -j "$(nproc)" --target \
-            test_bench_parallel test_obs
-        TSAN_OPTIONS="halt_on_error=1" \
-            ctest --test-dir build-tsan -j "$(nproc)" \
-            --output-on-failure \
-            -R "ParallelRunner|TraceSet|TraceRing|Tracer|TracedCluster"
-        ;;
-    trace)
-        run_stage "trace determinism + cross-check"
-        cmake -B build -S . -G Ninja -DPRESS_WERROR=ON
-        cmake --build build -j "$(nproc)" --target \
-            fig1_time_breakdown press_trace
-        rm -rf build/trace-j1 build/trace-j4a build/trace-j4b
-        # Three identical Figure-1 sweeps: sequential, parallel, and a
-        # parallel rerun. The exported traces must be byte-identical —
-        # determinism is part of the subsystem's contract. fig1 itself
-        # exits nonzero if any cell's span-derived CPU attribution
-        # disagrees with the resource counters.
-        PRESS_TRACE=1 ./build/bench/fig1_time_breakdown \
-            --requests 20000 --jobs 1 --trace-dir build/trace-j1
-        PRESS_TRACE=1 ./build/bench/fig1_time_breakdown \
-            --requests 20000 --jobs 4 --trace-dir build/trace-j4a
-        PRESS_TRACE=1 ./build/bench/fig1_time_breakdown \
-            --requests 20000 --jobs 4 --trace-dir build/trace-j4b
-        diff -r build/trace-j1 build/trace-j4a
-        diff -r build/trace-j4a build/trace-j4b
-        echo "trace exports byte-identical across --jobs 1/4 and reruns"
-        for f in build/trace-j1/*.trace.json; do
-            ./build/tools/press_trace jsoncheck "$f"
-        done
-        for f in build/trace-j1/*.ptrace; do
-            ./build/tools/press_trace check "$f"
-        done
-        ;;
-    lint)
-        run_stage "lint"
-        scripts/lint.sh build
-        ;;
+    tier1|asan|tsan|trace|races|lint) ;;
     *)
-        echo "check.sh: unknown stage '$stage' (want tier1|asan|tsan|trace|lint)" >&2
+        echo "check.sh: unknown stage '$stage'" \
+             "(want tier1|asan|tsan|trace|races|lint)" >&2
         exit 2
         ;;
     esac
+    echo
+    echo "===== check.sh: $stage (PRESS_CHECK=$PRESS_CHECK) ====="
+    # Subshell with -e: the stage stops at its first error, but the
+    # driver carries on to the remaining stages regardless.
+    ( set -e; "stage_$stage" )
+    rc=$?
+    if [ "$rc" -eq 0 ]; then
+        RESULTS+=("$stage PASS")
+    else
+        RESULTS+=("$stage FAIL")
+        OVERALL=1
+    fi
 done
 
 echo
+echo "===== check.sh: summary ====="
+for line in "${RESULTS[@]}"; do
+    printf '  %-8s %s\n' "${line% *}" "${line##* }"
+done
+if [ "$OVERALL" -ne 0 ]; then
+    echo "check.sh: FAILED"
+    exit 1
+fi
 echo "check.sh: all stages passed"

@@ -71,6 +71,65 @@ ban "std::endl" 'std::endl' 'src/util/logging' \
 ban "malloc/free" '\b(malloc|calloc|realloc|free)\(' '<none>' \
     "the codebase is RAII-only"
 
+# ---------------------------------------- nondeterminism bans
+# The simulator's contract is bit-identical reruns (the golden tests
+# and the race/causality stage both depend on it); these patterns are
+# the classic ways nondeterminism leaks in. docs/static-analysis.md
+# explains each.
+
+# Wall-clock time in simulation code: results must be a function of
+# the virtual clock and the seed, never of the host.
+ban "wall clock" \
+    'clock::now|gettimeofday|clock_gettime|\btime\(NULL|\btime\(nullptr' \
+    '<none>' \
+    "simulation state must depend only on sim::Tick and the seed"
+
+# Pointer-keyed ordered containers: iteration order tracks the
+# allocator (ASLR), so anything derived from it differs across runs.
+ban "pointer-keyed map/set" 'std::(map|set|multimap|multiset)< *[^,<>]*\*' \
+    '<none>' \
+    "key by a stable id (node index, FileId, slot) instead of an address"
+
+# Addresses leaking into output or hashes: same ASLR problem.
+ban "address in output" '%p|std::hash<[^>]*\*>' '<none>' \
+    "print/hash stable ids, not pointers"
+
+# Mutable statics: hidden global state survives across runs in the
+# same process, so run N's result depends on runs 1..N-1 (the sweep
+# runner executes many cells per process).
+ban "mutable static data" \
+    '\bstatic +[A-Za-z_][A-Za-z0-9_:<>,* ]* +[A-Za-z_][A-Za-z0-9_]* *(=|\{[^)]*$)' \
+    'static +(constexpr|const\b|inline +constexpr)|static_assert|// ' \
+    "pass state through constructors; statics break run isolation"
+
+# Range-for over unordered containers: iteration order is
+# implementation-defined, so any ordering or output derived from such
+# a loop is not portable or stable. Matched per component (a header's
+# unordered members against its own .cpp/.hpp) so a vector that
+# happens to share a name elsewhere does not false-positive.
+unordered_iteration() {
+    local hpp cpp names n hits
+    for hpp in $(find src -name '*.hpp' | sort); do
+        names=$(grep -hoE \
+            'std::unordered_(map|set)<[^;]*> +_?[a-zA-Z0-9_]+' "$hpp" |
+            grep -oE '[a-zA-Z0-9_]+$' | sort -u || true)
+        [ -z "$names" ] && continue
+        cpp="${hpp%.hpp}.cpp"
+        for n in $names; do
+            hits=$(grep -nE "for *\(.*: *(this->)?$n\b" "$hpp" \
+                $([ -f "$cpp" ] && echo "$cpp") || true)
+            if [ -n "$hits" ]; then
+                echo "lint: BANNED pattern 'unordered iteration'" \
+                     "(order is implementation-defined; iterate a" \
+                     "sorted copy or a parallel vector):"
+                echo "$hits" | sed "s|^|  ${hpp%.hpp}: $n: |"
+                FAILED=1
+            fi
+        done
+    done
+}
+unordered_iteration
+
 if [ "$FAILED" -ne 0 ]; then
     echo "lint: FAILED"
     exit 1

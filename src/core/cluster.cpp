@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "check/causality_checker.hpp"
 #include "check/via_checker.hpp"
 #include "core/tcp_comm.hpp"
 #include "core/via_comm.hpp"
@@ -33,6 +34,18 @@ PressCluster::dumpStats(std::ostream &os) const
            << "\n";
         os << "check.checks " << _viaChecker->checksPerformed() << "\n";
         os << "check.violations " << _viaChecker->totalViolations()
+           << "\n";
+    }
+    if (_causality) {
+        os << "causality.mode "
+           << (_causality->mode() == check::CheckMode::Record ? "record"
+                                                              : "abort")
+           << "\n";
+        os << "causality.checks " << _causality->checksPerformed()
+           << "\n";
+        os << "causality.cross_edges " << _causality->crossDomainEdges()
+           << "\n";
+        os << "causality.violations " << _causality->totalViolations()
            << "\n";
     }
     for (int i = 0; i < _config.nodes; ++i) {
@@ -95,6 +108,12 @@ PressCluster::PressCluster(const PressConfig &config,
     _requestWireBytes.resize(trace.files.count(), 0);
     PRESS_ASSERT(_config.nodes >= 1, "cluster needs nodes");
 
+    // Equal-tick tie-break policy, set before anything can schedule.
+    // Fifo (the default) keeps runs bit-identical to every previous
+    // kernel; SeededPermute is the tick-race detector's diagnostic
+    // ordering (check::TickRaceHunter).
+    _sim.setTieBreak(_config.tieBreak, _config.tieBreakSeed);
+
     // Networks. The external network is always switched Fast Ethernet
     // (clients talk TCP/FE in every paper configuration); ports 0..N-1
     // are the servers, ports N..2N-1 the client side of each switch
@@ -109,6 +128,14 @@ PressCluster::PressCluster(const PressConfig &config,
     _external = std::make_unique<net::Fabric>(
         _sim, net::FabricConfig::fastEthernet(), 2 * _config.nodes + 1);
 
+    // Scheduling domains: node i's events live in domain i, the whole
+    // client population (and the LARD front-end, which sits on the
+    // client side of the external switch) in domain N. The external
+    // fabric's server ports keep their default port-index domains; its
+    // client-side ports all collapse onto the client domain.
+    for (int p = _config.nodes; p < _external->ports(); ++p)
+        _external->setPortDomain(p, clientDomain());
+
     if (_config.distribution == Distribution::FrontEndLard) {
         _feCpu = std::make_unique<sim::FifoResource>(_sim, "lard.fe");
         _feLoad.assign(_config.nodes, 0);
@@ -119,11 +146,16 @@ PressCluster::PressCluster(const PressConfig &config,
                      _config.cpuSpeeds.size() ==
                          static_cast<std::size_t>(_config.nodes),
                  "cpuSpeeds must be empty or have one entry per node");
+    // Per-node construction runs under that node's domain so any
+    // setup-time scheduling is attributed to its owner; the client
+    // domain is restored for run()'s initial request wave.
     for (int i = 0; i < _config.nodes; ++i) {
+        _sim.setCurrentDomain(i);
         _nodes.push_back(std::make_unique<osnode::Node>(_sim, i));
         if (!_config.cpuSpeeds.empty())
             _nodes.back()->cpu().setSpeed(_config.cpuSpeeds[i]);
     }
+    _sim.setCurrentDomain(sim::NoDomain);
 
     // Intra-cluster communication.
     if (_config.protocol == Protocol::ViaClan) {
@@ -136,10 +168,13 @@ PressCluster::PressCluster(const PressConfig &config,
                           ? check::CheckMode::Record
                           : check::CheckMode::Abort);
         std::vector<std::unique_ptr<ViaComm>> vias;
-        for (int i = 0; i < _config.nodes; ++i)
+        for (int i = 0; i < _config.nodes; ++i) {
+            _sim.setCurrentDomain(i);
             vias.push_back(std::make_unique<ViaComm>(
                 _sim, i, _config, _nodes[i]->cpu(), *_internal,
                 _viaChecker.get()));
+        }
+        _sim.setCurrentDomain(sim::NoDomain);
         ViaComm::linkMesh(vias);
         for (auto &v : vias)
             _comms.push_back(std::move(v));
@@ -149,20 +184,26 @@ PressCluster::PressCluster(const PressConfig &config,
                 ? tcpnet::TcpCosts::clan()
                 : tcpnet::TcpCosts::defaults();
         std::vector<std::unique_ptr<TcpComm>> tcps;
-        for (int i = 0; i < _config.nodes; ++i)
+        for (int i = 0; i < _config.nodes; ++i) {
+            _sim.setCurrentDomain(i);
             tcps.push_back(std::make_unique<TcpComm>(
                 _sim, i, _config.nodes, _nodes[i]->cpu(), *_internal,
                 _config.calibration, stack_costs));
+        }
+        _sim.setCurrentDomain(sim::NoDomain);
         TcpComm::connectMesh(tcps);
         for (auto &t : tcps)
             _comms.push_back(std::move(t));
     }
 
     // Servers.
-    for (int i = 0; i < _config.nodes; ++i)
+    for (int i = 0; i < _config.nodes; ++i) {
+        _sim.setCurrentDomain(i);
         _servers.push_back(std::make_unique<PressServer>(
             _sim, _config, i, *_nodes[i], _trace.files, *_comms[i],
             _config.seed * 1315423911u + i));
+    }
+    _sim.setCurrentDomain(sim::NoDomain);
 
     // Observability: one tracer for the whole cluster, probes on every
     // CPU and disk, and the comm/server instrumentation pointed at it.
@@ -185,6 +226,37 @@ PressCluster::PressCluster(const PressConfig &config,
             _comms[i]->setTracer(_tracer.get(), i);
             _servers[i]->setTracer(_tracer.get());
         }
+    }
+
+    // Causality/lookahead checking: every cross-domain scheduling edge
+    // must carry at least the wire latency of the fabric the causality
+    // physically travels on — server<->server over the internal fabric,
+    // anything touching the client side over the external Fast
+    // Ethernet. This is the invariant a conservative parallel kernel's
+    // lookahead window would be built on (ROADMAP item 1).
+    if (_config.causality != ViaCheck::Off) {
+        _causality = std::make_unique<check::CausalityChecker>(
+            _sim, _config.causality == ViaCheck::Record
+                      ? check::CheckMode::Record
+                      : check::CheckMode::Abort);
+        _causality->declareDomains(_config.nodes + 1);
+        for (int i = 0; i < _config.nodes; ++i)
+            _causality->setDomainLabel(i, "node" + std::to_string(i));
+        _causality->setDomainLabel(clientDomain(), "client");
+        const sim::Tick internal_wire = _internal->config().wireLatency;
+        const sim::Tick external_wire = _external->config().wireLatency;
+        for (int f = 0; f <= _config.nodes; ++f)
+            for (int t = 0; t <= _config.nodes; ++t) {
+                if (f == t)
+                    continue;
+                bool internal_link =
+                    f < _config.nodes && t < _config.nodes;
+                _causality->setBound(
+                    f, t, internal_link ? internal_wire : external_wire);
+            }
+        _causality->watchFabric(*_internal);
+        _causality->watchFabric(*_external);
+        _causality->attach();
     }
 
     // Client slots.
@@ -438,6 +510,9 @@ PressCluster::run(std::uint64_t max_requests)
     _measureStart = 0;
     _lastReply = 0;
 
+    // The initial request wave (and everything issueNext touches — the
+    // client RNG, the request feed) belongs to the client domain.
+    _sim.setCurrentDomain(clientDomain());
     for (auto &slot : _clients) {
         slot->active = true;
         slot->closedLoop = true;

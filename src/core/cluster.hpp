@@ -30,6 +30,7 @@
 #include "workload/trace.hpp"
 
 namespace press::check {
+class CausalityChecker;
 class ViaChecker;
 }
 
@@ -113,6 +114,17 @@ class PressCluster
      *  enables checking and the protocol is VIA/cLAN. */
     const check::ViaChecker *viaChecker() const { return _viaChecker.get(); }
 
+    /** The causality/lookahead checker; null unless config.causality
+     *  enables it. */
+    const check::CausalityChecker *causalityChecker() const
+    {
+        return _causality.get();
+    }
+
+    /** The scheduling domain of the client population (and the LARD
+     *  front-end); node i's domain is i. */
+    sim::Domain clientDomain() const { return _config.nodes; }
+
     /** The observability hub; null unless config.trace is set. */
     obs::Tracer *tracer() { return _tracer.get(); }
 
@@ -136,6 +148,7 @@ class PressCluster
     std::unique_ptr<net::Fabric> _internal;
     std::unique_ptr<net::Fabric> _external;
     std::unique_ptr<check::ViaChecker> _viaChecker;
+    std::unique_ptr<check::CausalityChecker> _causality;
     std::unique_ptr<obs::Tracer> _tracer;
     std::vector<std::unique_ptr<obs::ResourceProbe>> _probes;
     std::vector<std::unique_ptr<osnode::Node>> _nodes;

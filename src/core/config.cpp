@@ -61,6 +61,20 @@ viaCheckDefault()
     return ViaCheck::Abort;
 }
 
+ViaCheck
+causalityDefault()
+{
+    const char *env = std::getenv("PRESS_CAUSALITY");
+    if (!env)
+        return ViaCheck::Off;
+    std::string_view v(env);
+    if (v.empty() || v == "0" || v == "off")
+        return ViaCheck::Off;
+    if (v == "record" || v == "report")
+        return ViaCheck::Record;
+    return ViaCheck::Abort;
+}
+
 bool
 traceDefault()
 {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/calibration.hpp"
+#include "sim/event_queue.hpp"
 #include "util/units.hpp"
 
 namespace press::core {
@@ -86,6 +87,14 @@ const char *viaCheckName(ViaCheck c);
  * bench fully checked without touching their sources.
  */
 ViaCheck viaCheckDefault();
+
+/**
+ * Default causality/lookahead checking level (check::CausalityChecker)
+ * from the PRESS_CAUSALITY environment variable, with the same grammar
+ * as PRESS_CHECK: unset/"0"/"off" = Off, "record"/"report" = Record,
+ * anything else = Abort.
+ */
+ViaCheck causalityDefault();
 
 /**
  * Default tracing flag from the PRESS_TRACE environment variable:
@@ -192,6 +201,24 @@ struct PressConfig {
 
     /** Seed for client node-selection randomness. */
     std::uint64_t seed = 7;
+
+    /**
+     * Equal-tick tie-break policy of the event kernel. Fifo is the
+     * determinism contract (bit-identical runs); SeededPermute is the
+     * tick-race detector's diagnostic mode — it permutes equal-tick
+     * firing order across scheduling domains under tieBreakSeed (see
+     * check::TickRaceHunter).
+     */
+    sim::TieBreak tieBreak = sim::TieBreak::Fifo;
+    std::uint64_t tieBreakSeed = 0;
+
+    /**
+     * Causality/lookahead checking (check::CausalityChecker): verifies
+     * every cross-domain scheduling edge carries at least the fabric
+     * wire latency — the feasibility invariant for parallelizing the
+     * kernel. Defaults to the PRESS_CAUSALITY environment variable.
+     */
+    ViaCheck causality = causalityDefault();
 
     /** VIA invariant checking (Protocol::ViaClan only). Defaults to the
      *  PRESS_CHECK environment variable; see viaCheckDefault(). */

@@ -39,6 +39,9 @@ Fabric::Fabric(sim::Simulator &sim, FabricConfig config, int ports)
     PRESS_ASSERT(_config.bandwidth > 0, "fabric bandwidth must be > 0");
     _tx.reserve(ports);
     _rx.reserve(ports);
+    _portDomain.reserve(ports);
+    for (int i = 0; i < ports; ++i)
+        _portDomain.push_back(static_cast<sim::Domain>(i));
     for (int i = 0; i < ports; ++i) {
         _tx.push_back(std::make_unique<sim::FifoResource>(
             sim, _config.name + ".tx" + std::to_string(i)));
@@ -68,8 +71,22 @@ Fabric::unloadedLatency(std::uint64_t bytes) const
     return txTime(bytes) + _config.wireLatency + rxTime(bytes);
 }
 
+void
+Fabric::setPortDomain(NodeId port, sim::Domain domain)
+{
+    checkPort(port);
+    _portDomain[port] = domain;
+}
+
+sim::Domain
+Fabric::portDomain(NodeId port) const
+{
+    checkPort(port);
+    return _portDomain[port];
+}
+
 Fabric::Transfer *
-Fabric::acquireTransfer(NodeId dst, std::uint64_t bytes,
+Fabric::acquireTransfer(NodeId src, NodeId dst, std::uint64_t bytes,
                         DeliverFn on_delivered, DeliverFn on_tx_done)
 {
     Transfer *t;
@@ -79,8 +96,10 @@ Fabric::acquireTransfer(NodeId dst, std::uint64_t bytes,
         t = _freeTransfers.back();
         _freeTransfers.pop_back();
     }
+    t->src = src;
     t->dst = dst;
     t->bytes = bytes;
+    t->sendTick = _sim.now();
     t->onDelivered = std::move(on_delivered);
     t->onTxDone = std::move(on_tx_done);
     return t;
@@ -105,7 +124,7 @@ Fabric::send(NodeId src, NodeId dst, std::uint64_t bytes,
     ++st.messagesSent;
     st.bytesSent += bytes;
 
-    Transfer *t = acquireTransfer(dst, bytes, std::move(on_delivered),
+    Transfer *t = acquireTransfer(src, dst, bytes, std::move(on_delivered),
                                   std::move(on_tx_done));
     if (src == dst) {
         // Local short-circuit: only the TX engine is charged.
@@ -137,7 +156,12 @@ Fabric::txDone(Transfer *t)
     DeliverFn tx = std::move(t->onTxDone);
     if (tx)
         tx();
-    _sim.schedule(_config.wireLatency, [this, t]() { wireDone(t); });
+    // The wire hop is the cross-node handoff: the arrival (and every
+    // receive-side event it causes) runs in the destination's domain,
+    // wireLatency ahead — the edge a conservative parallel scheduler's
+    // lookahead window is built on.
+    _sim.scheduleIn(_portDomain[t->dst], _config.wireLatency,
+                    [this, t]() { wireDone(t); });
 }
 
 void
@@ -152,6 +176,9 @@ Fabric::rxDone(Transfer *t)
     auto &rst = _stats[t->dst];
     ++rst.messagesReceived;
     rst.bytesReceived += t->bytes;
+    if (_observer)
+        _observer->onDeliver(*this, t->src, t->dst, t->bytes,
+                             t->sendTick, _sim.now());
     DeliverFn cb = std::move(t->onDelivered);
     releaseTransfer(t);
     if (cb)

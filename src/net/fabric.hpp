@@ -65,6 +65,31 @@ struct PortStats {
     std::uint64_t bytesReceived = 0;
 };
 
+class Fabric;
+
+/**
+ * Observer of completed cross-port transfers. The causality checker
+ * (check::CausalityChecker) implements this to verify that every
+ * delivery took at least the fabric's unloaded latency — the lower
+ * bound a conservative parallel scheduler's lookahead window would
+ * rely on. With no observer attached the hook is a null-pointer test.
+ */
+class FabricObserver
+{
+  public:
+    virtual ~FabricObserver() = default;
+
+    /**
+     * A transfer of @p bytes from @p src arrived fully at @p dst.
+     * @p send_tick is the time send() was called; @p deliver_tick is
+     * now(). Loopback (src == dst) transfers are not reported — they
+     * never cross a node boundary.
+     */
+    virtual void onDeliver(const Fabric &fabric, NodeId src, NodeId dst,
+                           std::uint64_t bytes, sim::Tick send_tick,
+                           sim::Tick deliver_tick) = 0;
+};
+
 /**
  * A switched fabric connecting @p ports full-duplex ports.
  *
@@ -103,6 +128,19 @@ class Fabric
     const FabricConfig &config() const { return _config; }
     const PortStats &stats(NodeId port) const;
 
+    /**
+     * Scheduling domain of @p port (default: the port index, matching
+     * the one-node-per-port internal fabric). Receive-side events of a
+     * transfer run in the destination port's domain: the wire hop is
+     * where causality crosses nodes, so the fabric re-tags there and
+     * the wire latency becomes the cross-domain lookahead.
+     */
+    void setPortDomain(NodeId port, sim::Domain domain);
+    sim::Domain portDomain(NodeId port) const;
+
+    /** Attach a delivery observer (null detaches). */
+    void setObserver(FabricObserver *observer) { _observer = observer; }
+
     /** TX engine utilization of @p port over the run so far. */
     double txUtilization(NodeId port) const;
     double rxUtilization(NodeId port) const;
@@ -117,13 +155,15 @@ class Fabric
      * storage instead of nesting callbacks inside callbacks.
      */
     struct Transfer {
+        NodeId src = 0;
         NodeId dst = 0;
         std::uint64_t bytes = 0;
+        sim::Tick sendTick = 0; ///< when send() was called
         DeliverFn onDelivered;
         DeliverFn onTxDone;
     };
 
-    Transfer *acquireTransfer(NodeId dst, std::uint64_t bytes,
+    Transfer *acquireTransfer(NodeId src, NodeId dst, std::uint64_t bytes,
                               DeliverFn on_delivered, DeliverFn on_tx_done);
     void releaseTransfer(Transfer *t);
     void txDone(Transfer *t);
@@ -138,6 +178,8 @@ class Fabric
     std::vector<std::unique_ptr<sim::FifoResource>> _tx;
     std::vector<std::unique_ptr<sim::FifoResource>> _rx;
     std::vector<PortStats> _stats;
+    std::vector<sim::Domain> _portDomain;
+    FabricObserver *_observer = nullptr;
     std::deque<Transfer> _transferArena; ///< stable addresses, reused
     std::vector<Transfer *> _freeTransfers;
 };

@@ -5,10 +5,18 @@
 namespace press::sim {
 
 void
+Simulator::push(Tick when, EventFn fn, Domain domain)
+{
+    if (_observer)
+        _observer->onSchedule(_now, when, _currentDomain, domain);
+    _queue.push(when, std::move(fn), domain);
+}
+
+void
 Simulator::schedule(Tick delay, EventFn fn)
 {
     PRESS_ASSERT(delay >= 0, "negative event delay ", delay);
-    _queue.push(_now + delay, std::move(fn));
+    push(_now + delay, std::move(fn), _currentDomain);
 }
 
 void
@@ -16,7 +24,21 @@ Simulator::scheduleAt(Tick when, EventFn fn)
 {
     PRESS_ASSERT(when >= _now, "event scheduled in the past: ", when,
                  " < ", _now);
-    _queue.push(when, std::move(fn));
+    push(when, std::move(fn), _currentDomain);
+}
+
+void
+Simulator::scheduleIn(Domain domain, Tick delay, EventFn fn)
+{
+    PRESS_ASSERT(delay >= 0, "negative event delay ", delay);
+    push(_now + delay, std::move(fn), domain);
+}
+
+void
+Simulator::setTieBreak(TieBreak policy, std::uint64_t seed)
+{
+    PRESS_ASSERT(idle(), "tie-break change while events are pending");
+    _queue.setTieBreak(policy, seed);
 }
 
 Tick
@@ -27,6 +49,7 @@ Simulator::run(Tick until)
         if (when > until)
             break;
         _now = when;
+        _currentDomain = _queue.topDomain();
         ++_executed;
         _queue.fireNext();
     }
@@ -42,6 +65,7 @@ Simulator::step()
     if (_queue.empty())
         return false;
     _now = _queue.nextTime();
+    _currentDomain = _queue.topDomain();
     ++_executed;
     _queue.fireNext();
     return true;

@@ -120,7 +120,13 @@ TcpChannel::deliver(std::uint64_t bytes, net::Payload payload)
                                 self->_handler(bytes, payload);
                             // 4. Window update flows back after one wire
                             //    latency (delayed-ACK effects ignored).
-                            rcv._sim.schedule(
+                            //    The ACK crosses the wire, so the event
+                            //    belongs to the *sender's* scheduling
+                            //    domain: consumed() mutates sender-side
+                            //    window state and resumes its CPU.
+                            rcv._sim.scheduleIn(
+                                rcv._fabric.portDomain(
+                                    self->_local.node()),
                                 rcv._fabric.config().wireLatency,
                                 [self, bytes]() {
                                     self->consumed(bytes);
