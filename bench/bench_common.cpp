@@ -13,6 +13,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/summary.hpp"
 #include "obs/trace_io.hpp"
+#include "util/cli.hpp"
 #include "util/logging.hpp"
 
 namespace press::bench {
@@ -75,6 +76,8 @@ runCell(const Cell &cell, const Options &opts)
     config.nodes = cell.nodes > 0 ? cell.nodes : opts.nodes;
     if (opts.trace)
         config.trace = true;
+    if (opts.threads > 0)
+        config.threads = opts.threads;
     if (opts.permuteSeed != 0) {
         config.tieBreak = sim::TieBreak::SeededPermute;
         config.tieBreakSeed = opts.permuteSeed;
@@ -95,19 +98,24 @@ Options::parse(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--quick")) {
             o.quick = true;
             o.maxRequests = 120000;
-        } else if (!std::strcmp(argv[i], "--requests") && i + 1 < argc) {
-            o.maxRequests = std::strtoull(argv[++i], nullptr, 10);
-        } else if (!std::strcmp(argv[i], "--nodes") && i + 1 < argc) {
-            o.nodes = std::atoi(argv[++i]);
-        } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
-            o.jobs = std::atoi(argv[++i]);
-        } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
-            o.permuteSeed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--requests")) {
+            o.maxRequests = util::cliU64(argc, argv, i);
+        } else if (!std::strcmp(argv[i], "--nodes")) {
+            o.nodes = static_cast<int>(util::cliInt(argc, argv, i, 1,
+                                                    4096));
+        } else if (!std::strcmp(argv[i], "--jobs")) {
+            o.jobs = static_cast<int>(util::cliInt(argc, argv, i, 0,
+                                                   4096));
+        } else if (!std::strcmp(argv[i], "--threads")) {
+            o.threads = static_cast<int>(util::cliInt(argc, argv, i, 0,
+                                                      4096));
+        } else if (!std::strcmp(argv[i], "--seed")) {
+            o.permuteSeed = util::cliU64(argc, argv, i);
         } else if (!std::strcmp(argv[i], "--trace")) {
             o.trace = true;
-        } else if (!std::strcmp(argv[i], "--trace-dir") && i + 1 < argc) {
+        } else if (!std::strcmp(argv[i], "--trace-dir")) {
             o.trace = true;
-            o.traceDir = argv[++i];
+            o.traceDir = util::cliValue(argc, argv, i);
         } else if (!std::strcmp(argv[i], "--help")) {
             std::cout
                 << "usage: " << (argc > 0 ? argv[0] : "bench")
@@ -123,6 +131,12 @@ Options::parse(int argc, char **argv)
                    "hardware concurrency);\n"
                    "                  output is byte-identical for any "
                    "N\n"
+                   "  --threads N     simulation worker threads per "
+                   "cell (default 0 =\n"
+                   "                  sequential kernel; >= 1 runs the "
+                   "windowed parallel\n"
+                   "                  kernel, byte-identical for any "
+                   "N >= 1)\n"
                    "  --seed S        permute equal-tick event order "
                    "under seed S (0 = FIFO);\n"
                    "                  results should not move — a shift "
@@ -140,6 +154,9 @@ Options::parse(int argc, char **argv)
                         " (try --help)");
         }
     }
+    if (o.threads > 0 && o.permuteSeed != 0)
+        util::fatal("--threads and --seed are exclusive: the parallel "
+                    "kernel requires the Fifo tie-break");
     return o;
 }
 

@@ -1,9 +1,10 @@
 /**
  * @file
  * Event-kernel microbenchmark: raw engine speed with no cluster model
- * on top.
+ * on top, plus a full-cluster phase comparing the sequential and
+ * windowed-parallel kernels.
  *
- * Three quantities, written to BENCH_sim.json for tracking:
+ * Three kernel quantities, written to BENCH_sim.json for tracking:
  *
  *  - events/sec on a self-scheduling workload: 64 concurrent event
  *    chains (the pending-event depth of a busy 8-node cluster run),
@@ -16,6 +17,14 @@
  *    once the high-water mark is reached.
  *  - p50/p99 schedule->fire host latency: one schedule() + step()
  *    round trip through a warm queue, sampled repeatedly.
+ *
+ * The cluster phase replays a capped ClarkNet trace on 1/8/64-node
+ * TCP/FastEthernet clusters under the sequential kernel (threads 0)
+ * and the windowed kernel at 1/4/8 worker threads, and reports
+ * events/sec per cell. The interesting ratios are threads>=1 vs the
+ * same cell at more threads (scaling) and threads 1 vs 0 (windowing
+ * overhead); on a single-core host the thread counts cannot and should
+ * not differ by more than scheduling noise.
  *
  * Not a google-benchmark binary: the operator-new hook and the JSON
  * output want a bare main, and the workload provides its own repeats.
@@ -30,10 +39,14 @@
 #include <fstream>
 #include <iostream>
 #include <new>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/cluster.hpp"
 #include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "workload/trace_gen.hpp"
 
 namespace {
 std::atomic<unsigned long long> g_allocs{0};
@@ -96,15 +109,55 @@ percentile(std::vector<double> &v, double p)
     return v[idx];
 }
 
+/** One cluster-phase cell: kernel events/sec for a capped ClarkNet
+ *  replay at a given node and worker-thread count. */
+struct ClusterCell {
+    int nodes = 0;
+    int threads = 0; ///< 0 = sequential kernel, >=1 = windowed kernel
+    std::uint64_t events = 0;
+    double wallSecs = 0;
+    double eventsPerSec = 0;
+};
+
+ClusterCell
+runClusterCell(const press::workload::Trace &trace,
+               std::uint64_t requests, int nodes, int threads)
+{
+    press::core::PressConfig config;
+    config.protocol = press::core::Protocol::TcpFastEthernet;
+    config.nodes = nodes;
+    config.threads = threads;
+    press::core::PressCluster cluster(config, trace);
+
+    auto t0 = std::chrono::steady_clock::now();
+    cluster.run(requests);
+    auto t1 = std::chrono::steady_clock::now();
+
+    ClusterCell cell;
+    cell.nodes = nodes;
+    cell.threads = threads;
+    cell.events = cluster.simulator().eventsExecuted();
+    cell.wallSecs = std::chrono::duration<double>(t1 - t0).count();
+    cell.eventsPerSec =
+        static_cast<double>(cell.events) / cell.wallSecs;
+    return cell;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const char *json_path = "BENCH_sim.json";
+    std::uint64_t cluster_requests = 6000;
+    bool run_cluster = true;
     for (int i = 1; i < argc; ++i) {
-        if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
-            json_path = argv[++i];
+        if (std::string_view(argv[i]) == "--json") {
+            json_path = press::util::cliValue(argc, argv, i);
+        } else if (std::string_view(argv[i]) == "--cluster-requests") {
+            cluster_requests = press::util::cliU64(argc, argv, i);
+        } else if (std::string_view(argv[i]) == "--no-cluster") {
+            run_cluster = false;
         } else if (std::string_view(argv[i]) == "--help") {
             std::cout
                 << "usage: " << argv[0]
@@ -112,10 +165,16 @@ main(int argc, char **argv)
                    "Event-kernel microbench: schedules/runs 5M events "
                    "and checks the\n"
                    "steady-state allocation count stays at zero per "
-                   "event.\n"
-                   "  --json PATH   write results JSON (default: "
-                   "BENCH_sim.json)\n"
-                   "  --help        this text\n";
+                   "event, then replays\n"
+                   "a capped cluster run under the sequential and "
+                   "parallel kernels.\n"
+                   "  --json PATH           write results JSON "
+                   "(default: BENCH_sim.json)\n"
+                   "  --cluster-requests N  measured requests per "
+                   "cluster cell\n"
+                   "                        (default 6000)\n"
+                   "  --no-cluster          skip the cluster phase\n"
+                   "  --help                this text\n";
             return 0;
         } else {
             std::cerr << "unknown option " << argv[i]
@@ -168,6 +227,29 @@ main(int argc, char **argv)
     std::printf("  schedule->fire   p50 %.0f ns, p99 %.0f ns\n", p50,
                 p99);
 
+    // Cluster phase: the same capped trace replayed per cell, so the
+    // cells differ only in node count and kernel/thread choice.
+    std::vector<ClusterCell> cells;
+    if (run_cluster) {
+        auto spec = press::workload::clarknetSpec();
+        spec.numRequests = 2 * cluster_requests;
+        press::workload::Trace trace =
+            press::workload::generateTrace(spec);
+        for (int nodes : {1, 8, 64}) {
+            for (int threads : {0, 1, 4, 8}) {
+                ClusterCell cell = runClusterCell(
+                    trace, cluster_requests, nodes, threads);
+                std::printf("  cluster %2d nodes, threads %d: "
+                            "%llu events, %.3f s, %.3e events/sec\n",
+                            cell.nodes, cell.threads,
+                            static_cast<unsigned long long>(
+                                cell.events),
+                            cell.wallSecs, cell.eventsPerSec);
+                cells.push_back(cell);
+            }
+        }
+    }
+
     std::ofstream json(json_path);
     if (!json) {
         std::cerr << "cannot write " << json_path << "\n";
@@ -181,8 +263,18 @@ main(int argc, char **argv)
          << "  \"events_per_sec\": " << events_per_sec << ",\n"
          << "  \"allocs_per_event\": " << allocs_per_event << ",\n"
          << "  \"schedule_fire_p50_ns\": " << p50 << ",\n"
-         << "  \"schedule_fire_p99_ns\": " << p99 << "\n"
-         << "}\n";
+         << "  \"schedule_fire_p99_ns\": " << p99 << ",\n"
+         << "  \"cluster\": [";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const ClusterCell &c = cells[i];
+        json << (i ? ",\n" : "\n")
+             << "    {\"scenario\": \"clarknet_tcpfe\", \"nodes\": "
+             << c.nodes << ", \"threads\": " << c.threads
+             << ", \"events\": " << c.events << ", \"wall_s\": "
+             << c.wallSecs << ", \"events_per_sec\": "
+             << c.eventsPerSec << "}";
+    }
+    json << (cells.empty() ? "]\n" : "\n  ]\n") << "}\n";
     std::printf("written: %s\n", json_path);
 
     // The kernel's zero-allocation contract is part of the bench: fail

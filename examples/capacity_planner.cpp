@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "model/press_model.hpp"
+#include "util/cli.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
 
@@ -29,12 +30,12 @@ main(int argc, char **argv)
     double file_kb = 16;
 
     for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--target") && i + 1 < argc)
-            target = std::atof(argv[++i]);
-        else if (!std::strcmp(argv[i], "--files") && i + 1 < argc)
-            files = std::atof(argv[++i]);
-        else if (!std::strcmp(argv[i], "--file-kb") && i + 1 < argc)
-            file_kb = std::atof(argv[++i]);
+        if (!std::strcmp(argv[i], "--target"))
+            target = util::cliDouble(argc, argv, i);
+        else if (!std::strcmp(argv[i], "--files"))
+            files = util::cliDouble(argc, argv, i);
+        else if (!std::strcmp(argv[i], "--file-kb"))
+            file_kb = util::cliDouble(argc, argv, i);
         else
             util::fatal("unknown option ", argv[i]);
     }

@@ -23,6 +23,7 @@
 #include "net/payload.hpp"
 #include "osnode/node.hpp"
 #include "storage/file_cache.hpp"
+#include "util/cli.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
 #include "via/via_nic.hpp"
@@ -141,8 +142,13 @@ int
 main(int argc, char **argv)
 {
     std::uint32_t blocks =
-        argc > 1 ? std::atoi(argv[1]) : 3200; // ~26 MB working set
-    int requests = argc > 2 ? std::atoi(argv[2]) : 100000;
+        argc > 1 ? static_cast<std::uint32_t>(util::cliParseInt(
+                       argv[1], "blocks", 1, 1 << 24))
+                 : 3200; // ~26 MB working set
+    int requests = argc > 2
+                       ? static_cast<int>(util::cliParseInt(
+                             argv[2], "requests", 1, 1 << 30))
+                       : 100000;
 
     sim::Simulator sim;
     net::Fabric fabric(sim, net::FabricConfig::clan(), Nodes);

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "model/press_model.hpp"
+#include "util/cli.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
 
@@ -29,14 +30,15 @@ main(int argc, char **argv)
     bool future = false;
 
     for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--nodes") && i + 1 < argc)
-            nodes = std::atoi(argv[++i]);
-        else if (!std::strcmp(argv[i], "--hit") && i + 1 < argc)
-            hit = std::atof(argv[++i]);
-        else if (!std::strcmp(argv[i], "--files") && i + 1 < argc)
-            files = std::atof(argv[++i]);
-        else if (!std::strcmp(argv[i], "--file-kb") && i + 1 < argc)
-            file_kb = std::atof(argv[++i]);
+        if (!std::strcmp(argv[i], "--nodes"))
+            nodes = static_cast<int>(
+                util::cliInt(argc, argv, i, 1, 4096));
+        else if (!std::strcmp(argv[i], "--hit"))
+            hit = util::cliDouble(argc, argv, i);
+        else if (!std::strcmp(argv[i], "--files"))
+            files = util::cliDouble(argc, argv, i);
+        else if (!std::strcmp(argv[i], "--file-kb"))
+            file_kb = util::cliDouble(argc, argv, i);
         else if (!std::strcmp(argv[i], "--future"))
             future = true;
         else

@@ -24,6 +24,7 @@
 
 #include "bench_common.hpp"
 #include "core/cluster.hpp"
+#include "util/cli.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
 #include "workload/trace_gen.hpp"
@@ -104,27 +105,23 @@ main(int argc, char **argv)
     int jobs = 0;
 
     for (int i = 1; i < argc; ++i) {
-        auto need = [&](const char *flag) -> const char * {
-            if (std::strcmp(argv[i], flag) || i + 1 >= argc)
-                return nullptr;
-            return argv[++i];
-        };
-        if (auto v = need("--param"))
-            param = v;
-        else if (auto v = need("--values"))
-            values_arg = v;
-        else if (auto v = need("--trace"))
-            trace_name = v;
-        else if (auto v = need("--configs"))
-            configs_arg = v;
-        else if (auto v = need("--csv"))
-            csv_path = v;
-        else if (auto v = need("--requests"))
-            requests = std::strtoull(v, nullptr, 10);
-        else if (auto v = need("--jobs"))
-            jobs = std::atoi(v);
+        if (!std::strcmp(argv[i], "--param"))
+            param = util::cliValue(argc, argv, i);
+        else if (!std::strcmp(argv[i], "--values"))
+            values_arg = util::cliValue(argc, argv, i);
+        else if (!std::strcmp(argv[i], "--trace"))
+            trace_name = util::cliValue(argc, argv, i);
+        else if (!std::strcmp(argv[i], "--configs"))
+            configs_arg = util::cliValue(argc, argv, i);
+        else if (!std::strcmp(argv[i], "--csv"))
+            csv_path = util::cliValue(argc, argv, i);
+        else if (!std::strcmp(argv[i], "--requests"))
+            requests = util::cliU64(argc, argv, i);
+        else if (!std::strcmp(argv[i], "--jobs"))
+            jobs = static_cast<int>(util::cliInt(argc, argv, i, 0,
+                                                 4096));
         else
-            util::fatal("unknown or incomplete option ", argv[i]);
+            util::fatal("unknown option ", argv[i]);
     }
 
     workload::TraceSpec spec =
@@ -138,7 +135,8 @@ main(int argc, char **argv)
     opts.jobs = jobs;
     bench::ParallelRunner runner(opts);
     for (const std::string &value_str : splitCsvList(values_arg)) {
-        double value = std::atof(value_str.c_str());
+        double value =
+            util::cliParseDouble(value_str.c_str(), "--values");
         for (const std::string &cfg_name : splitCsvList(configs_arg)) {
             PressConfig config = configFor(cfg_name);
             applyParam(config, param, value);
@@ -159,7 +157,8 @@ main(int argc, char **argv)
               "fwd frac", "disk util", "intra CPU"});
     std::size_t k = 0;
     for (const std::string &value_str : splitCsvList(values_arg)) {
-        double value = std::atof(value_str.c_str());
+        double value =
+            util::cliParseDouble(value_str.c_str(), "--values");
         for (const std::string &cfg_name : splitCsvList(configs_arg)) {
             PressConfig config = configFor(cfg_name);
             applyParam(config, param, value);

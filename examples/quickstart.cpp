@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "core/cluster.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workload/trace_gen.hpp"
 
@@ -19,8 +20,8 @@ using namespace press;
 int
 main(int argc, char **argv)
 {
-    std::uint64_t requests = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                                      : 200000;
+    std::uint64_t requests =
+        argc > 1 ? util::cliParseU64(argv[1], "requests") : 200000;
 
     // A small Clarknet-like workload.
     workload::TraceSpec spec = workload::clarknetSpec();

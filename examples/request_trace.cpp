@@ -23,6 +23,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/summary.hpp"
 #include "obs/trace_io.hpp"
+#include "util/cli.hpp"
 #include "workload/trace_gen.hpp"
 
 using namespace press;
@@ -31,7 +32,7 @@ int
 main(int argc, char **argv)
 {
     std::uint64_t requests =
-        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 50000;
+        argc > 1 ? util::cliParseU64(argv[1], "requests") : 50000;
 
     workload::TraceSpec spec = workload::clarknetSpec();
     spec.numRequests = requests;

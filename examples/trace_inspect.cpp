@@ -20,6 +20,7 @@
 #include <iostream>
 
 #include "stats/histogram.hpp"
+#include "util/cli.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
 #include "workload/stack_distance.hpp"
@@ -63,12 +64,12 @@ main(int argc, char **argv)
     std::string trace_name = "clarknet", load_path;
     std::uint64_t requests = 0;
     for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
-            trace_name = argv[++i];
-        else if (!std::strcmp(argv[i], "--load") && i + 1 < argc)
-            load_path = argv[++i];
-        else if (!std::strcmp(argv[i], "--requests") && i + 1 < argc)
-            requests = std::strtoull(argv[++i], nullptr, 10);
+        if (!std::strcmp(argv[i], "--trace"))
+            trace_name = util::cliValue(argc, argv, i);
+        else if (!std::strcmp(argv[i], "--load"))
+            load_path = util::cliValue(argc, argv, i);
+        else if (!std::strcmp(argv[i], "--requests"))
+            requests = util::cliU64(argc, argv, i);
         else
             util::fatal("unknown option ", argv[i]);
     }

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "core/cluster.hpp"
+#include "util/cli.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
 #include "workload/trace_gen.hpp"
@@ -41,50 +42,48 @@ main(int argc, char **argv)
     std::uint64_t requests = 400000;
 
     for (int i = 1; i < argc; ++i) {
-        auto arg = [&](const char *flag) {
-            if (std::strcmp(argv[i], flag) || i + 1 >= argc)
-                return static_cast<const char *>(nullptr);
-            return static_cast<const char *>(argv[++i]);
-        };
-        if (auto v = arg("--trace")) {
-            trace_name = v;
-        } else if (auto v = arg("--load")) {
-            load_path = v;
-        } else if (auto v = arg("--save")) {
-            save_path = v;
-        } else if (auto v = arg("--proto")) {
-            std::string p = v;
+        if (!std::strcmp(argv[i], "--trace")) {
+            trace_name = util::cliValue(argc, argv, i);
+        } else if (!std::strcmp(argv[i], "--load")) {
+            load_path = util::cliValue(argc, argv, i);
+        } else if (!std::strcmp(argv[i], "--save")) {
+            save_path = util::cliValue(argc, argv, i);
+        } else if (!std::strcmp(argv[i], "--proto")) {
+            std::string p = util::cliValue(argc, argv, i);
             config.protocol = p == "tcpfe" ? Protocol::TcpFastEthernet
                               : p == "tcpclan" ? Protocol::TcpClan
                                                : Protocol::ViaClan;
-        } else if (auto v = arg("--version")) {
-            config.version = static_cast<Version>(std::atoi(v));
-        } else if (auto v = arg("--nodes")) {
-            config.nodes = std::atoi(v);
-        } else if (auto v = arg("--clients-per-node")) {
-            config.clientsPerNode = std::atoi(v);
-        } else if (auto v = arg("--dissemination")) {
-            std::string d = v;
+        } else if (!std::strcmp(argv[i], "--version")) {
+            config.version = static_cast<Version>(
+                util::cliInt(argc, argv, i, 0, 5));
+        } else if (!std::strcmp(argv[i], "--nodes")) {
+            config.nodes = static_cast<int>(
+                util::cliInt(argc, argv, i, 1, 4096));
+        } else if (!std::strcmp(argv[i], "--clients-per-node")) {
+            config.clientsPerNode = static_cast<int>(
+                util::cliInt(argc, argv, i, 1, 1 << 20));
+        } else if (!std::strcmp(argv[i], "--dissemination")) {
+            std::string d = util::cliValue(argc, argv, i);
             config.dissemination =
                 d == "pb"    ? Dissemination::piggyBack()
                 : d == "l1"  ? Dissemination::broadcast(1)
                 : d == "l4"  ? Dissemination::broadcast(4)
                 : d == "l16" ? Dissemination::broadcast(16)
                              : Dissemination::none();
-        } else if (auto v = arg("--distribution")) {
-            std::string d = v;
+        } else if (!std::strcmp(argv[i], "--distribution")) {
+            std::string d = util::cliValue(argc, argv, i);
             config.distribution =
                 d == "oblivious" ? Distribution::LocalOnly
                 : d == "lard"    ? Distribution::FrontEndLard
                                  : Distribution::LocalityConscious;
-        } else if (auto v = arg("--requests")) {
-            requests = std::strtoull(v, nullptr, 10);
-        } else if (auto v = arg("--csv")) {
-            csv_path = v;
+        } else if (!std::strcmp(argv[i], "--requests")) {
+            requests = util::cliU64(argc, argv, i);
+        } else if (!std::strcmp(argv[i], "--csv")) {
+            csv_path = util::cliValue(argc, argv, i);
         } else if (!std::strcmp(argv[i], "--stats-dump")) {
             stats_dump = true;
         } else {
-            util::fatal("unknown or incomplete option ", argv[i]);
+            util::fatal("unknown option ", argv[i]);
         }
     }
 

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "net/payload.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 #include "via/via_nic.hpp"
 
@@ -90,7 +91,9 @@ rmwStream(std::uint64_t bytes, int count)
 int
 main(int argc, char **argv)
 {
-    int iters = argc > 1 ? std::atoi(argv[1]) : 1000;
+    int iters = argc > 1 ? static_cast<int>(util::cliParseInt(
+                               argv[1], "iters", 1, 1 << 30))
+                         : 1000;
 
     std::cout << "VIA microbenchmarks over the simulated cLAN "
                  "(paper: 9 us 4-byte latency, 102 MB/s at 32 KB)\n\n";

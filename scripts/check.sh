@@ -15,12 +15,15 @@
 #       checks every cross-domain edge against its lookahead bound;
 #       the emitted lookahead table must be byte-identical across
 #       --jobs values (see docs/static-analysis.md)
-#   (f) lint pass (clang-tidy when available + project grep bans,
-#       including the nondeterminism bans)
+#   (f) parallel: the windowed parallel kernel — golden scenarios must
+#       be byte-identical across --threads 1/2/4, and the kernel's own
+#       tests run under ThreadSanitizer (see docs/simulation.md)
+#   (g) lint pass (clang-tidy when available + project grep bans,
+#       including the nondeterminism and raw-argv bans)
 #
 # Usage: scripts/check.sh [stage...]
-#   stage  any of: tier1 asan tsan trace races lint (default: all six,
-#          in order)
+#   stage  any of: tier1 asan tsan trace races parallel lint
+#          (default: all seven, in order)
 #
 # Every requested stage runs even when an earlier one fails; the
 # summary table at the end shows per-stage pass/fail and the script
@@ -32,7 +35,7 @@ set -uo pipefail
 cd "$(dirname "$0")/.."
 
 if [ $# -eq 0 ]; then
-    STAGES=(tier1 asan tsan trace races lint)
+    STAGES=(tier1 asan tsan trace races parallel lint)
 else
     STAGES=("$@")
 fi
@@ -119,6 +122,27 @@ stage_races() {
     echo "lookahead table byte-identical across --jobs values"
 }
 
+stage_parallel() {
+    cmake -B build -S . -G Ninja -DPRESS_WERROR=ON
+    cmake --build build -j "$(nproc)" --target press_races
+    # Parallel-kernel byte-identity hunt: the golden scenarios replayed
+    # under the windowed kernel at 1 (baseline), 2, and 4 worker
+    # threads. Results, stats, and the lookahead lane table must match
+    # bit for bit — the contract of sim/parallel.hpp.
+    ./build/tools/press_races --parallel-only --parallel-threads 2,4 \
+        --requests 20000 --jobs "$(nproc)"
+    # The same kernel under ThreadSanitizer: window/mailbox/barrier
+    # synchronization at the sim layer plus full-cluster runs.
+    cmake -B build-tsan -S . -G Ninja \
+        -DPRESS_SANITIZE=thread -DPRESS_WERROR=ON
+    cmake --build build-tsan -j "$(nproc)" --target \
+        test_sim_parallel test_core_parallel
+    TSAN_OPTIONS="halt_on_error=1" \
+        ctest --test-dir build-tsan -j "$(nproc)" \
+        --output-on-failure \
+        -R "ParallelKernel|SimulatorDomain|ParallelCluster"
+}
+
 stage_lint() {
     scripts/lint.sh build
 }
@@ -128,10 +152,10 @@ OVERALL=0
 
 for stage in "${STAGES[@]}"; do
     case "$stage" in
-    tier1|asan|tsan|trace|races|lint) ;;
+    tier1|asan|tsan|trace|races|parallel|lint) ;;
     *)
         echo "check.sh: unknown stage '$stage'" \
-             "(want tier1|asan|tsan|trace|races|lint)" >&2
+             "(want tier1|asan|tsan|trace|races|parallel|lint)" >&2
         exit 2
         ;;
     esac

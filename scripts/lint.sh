@@ -71,6 +71,23 @@ ban "std::endl" 'std::endl' 'src/util/logging' \
 ban "malloc/free" '\b(malloc|calloc|realloc|free)\(' '<none>' \
     "the codebase is RAII-only"
 
+# ------------------------------------------------- CLI parsing bans
+# Hand-rolled option loops read operands with `argv[++i]` (a missing
+# operand falls through to a misleading "unknown option" error) and
+# convert with atoi/atof/strtol, which silently turn garbage into 0.
+# util/cli.hpp is the one place allowed to touch argv operands; its
+# helpers fail loudly on missing values, trailing junk, and ranges.
+# This ban covers the binaries too, not just src/.
+cli_hits=$(grep -rnE \
+    'argv\[\+\+i\]|\bato[ifl]+\(argv|\bstrto[a-z]+\(argv' \
+    src/ bench/ tools/ examples/ | grep -v 'src/util/cli.hpp' || true)
+if [ -n "$cli_hits" ]; then
+    echo "lint: BANNED pattern 'raw argv parsing'" \
+         "(use util/cli.hpp: cliValue/cliInt/cliU64/cliDouble):"
+    echo "$cli_hits" | sed 's/^/  /'
+    FAILED=1
+fi
+
 # ---------------------------------------- nondeterminism bans
 # The simulator's contract is bit-identical reruns (the golden tests
 # and the race/causality stage both depend on it); these patterns are

@@ -1,5 +1,6 @@
 #include "cluster.hpp"
 
+#include <algorithm>
 #include <ostream>
 
 #include "check/causality_checker.hpp"
@@ -107,6 +108,18 @@ PressCluster::PressCluster(const PressConfig &config,
     _requestWire.resize(trace.files.count());
     _requestWireBytes.resize(trace.files.count(), 0);
     PRESS_ASSERT(_config.nodes >= 1, "cluster needs nodes");
+
+    // Parallel runs shard the event stream per domain, so the checkers —
+    // both of which assume one globally ordered stream — are forced off;
+    // the kernel's own lane table (writeLaneTable) takes over the
+    // lookahead measurement. Fifo is the determinism contract the
+    // window drain is built on.
+    if (_config.threads > 0) {
+        PRESS_ASSERT(_config.tieBreak == sim::TieBreak::Fifo,
+                     "parallel kernel requires the Fifo tie-break");
+        _config.causality = ViaCheck::Off;
+        _config.viaCheck = ViaCheck::Off;
+    }
 
     // Equal-tick tie-break policy, set before anything can schedule.
     // Fifo (the default) keeps runs bit-identical to every previous
@@ -315,8 +328,15 @@ PressCluster::issueNext(ClientSlot &slot)
         return;
     }
 
-    if (!_measuring && _feed->issued() > _warmupBoundary)
-        resetForMeasurement();
+    if (!_measuring && !_resetPending &&
+        _feed->issued() > _warmupBoundary) {
+        // The reset touches every node's counters; under the parallel
+        // kernel that must happen between windows, with all shards
+        // quiescent. Sequential runs execute the action inline, which
+        // is exactly the old behaviour.
+        _resetPending = true;
+        _sim.atBarrier([this]() { resetForMeasurement(); });
+    }
 
     int node = static_cast<int>(_clientRng.uniformInt(_config.nodes));
     int client_port = _config.nodes + node;
@@ -416,7 +436,13 @@ PressCluster::frontEndRoute(storage::FileId file,
                 _servers[backend]->handleClientRequest(
                     file, [this, file, keep_alive, backend,
                            slot](std::uint64_t) {
-                        --_feLoad[backend];
+                        // The reply callback runs on the back-end's
+                        // domain but the load table belongs to the
+                        // front-end; crossCall keeps it domain-local
+                        // (inline when sequential).
+                        _sim.crossCall(clientDomain(), [this, backend]() {
+                            --_feLoad[backend];
+                        });
                         http::Response resp = http::makeFileResponse(
                             200, _trace.files.size(file),
                             http::mimeType(_site.path(file)),
@@ -474,6 +500,7 @@ void
 PressCluster::resetForMeasurement()
 {
     _measuring = true;
+    _resetPending = false;
     _measureStart = _sim.now();
     if (_config.clientMode == PressConfig::ClientMode::OpenLoop)
         scheduleArrival();
@@ -507,6 +534,7 @@ PressCluster::run(std::uint64_t max_requests)
     _feed = std::make_unique<workload::RequestFeed>(
         _trace, _warmupBoundary + measured, /*wrap=*/true);
     _measuring = false;
+    _resetPending = false;
     _measureStart = 0;
     _lastReply = 0;
 
@@ -518,7 +546,21 @@ PressCluster::run(std::uint64_t max_requests)
         slot->closedLoop = true;
         issueNext(*slot);
     }
-    _sim.run();
+    if (_config.threads > 0) {
+        // Domains: one per node plus the client population. The
+        // conservative window is bounded by the smallest wire latency
+        // any cross-domain edge can ride — internal fabric between
+        // nodes, external Fast Ethernet for everything touching the
+        // client side.
+        sim::ParallelPlan plan;
+        plan.domains = _config.nodes + 1;
+        plan.threads = _config.threads;
+        plan.lookahead = std::min(_internal->config().wireLatency,
+                                  _external->config().wireLatency);
+        _sim.runParallel(plan);
+    } else {
+        _sim.run();
+    }
 
     if (!_measuring) {
         // Tiny runs can finish inside the warm-up window.

@@ -17,6 +17,7 @@
 #define PRESS_CORE_CLUSTER_HPP
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -132,6 +133,10 @@ class PressCluster
      *  clients; exposed for fault-injection tests). */
     std::uint64_t badRequests() const { return _badRequests; }
 
+    /** Per-lane cross-domain traffic measured by the parallel kernel
+     *  (empty unless config.threads > 0 and run() has completed). */
+    void writeLaneTable(std::ostream &os) const { _sim.writeLaneTable(os); }
+
   private:
     struct ClientSlot;
 
@@ -161,7 +166,10 @@ class PressCluster
     workload::SiteMap _site;
     std::vector<net::Payload> _requestWire; ///< per-file GET, lazily built
     std::vector<std::uint32_t> _requestWireBytes;
-    std::uint64_t _badRequests = 0;
+    /** Bumped from the client domain (ingress parse) and from node
+     *  domains (LARD hand-off) — atomic so the parallel kernel's
+     *  workers can race on it without torn counts. */
+    std::atomic<std::uint64_t> _badRequests{0};
 
     // LARD front-end state (Distribution::FrontEndLard only).
     std::unique_ptr<sim::FifoResource> _feCpu;
@@ -174,6 +182,11 @@ class PressCluster
 
     std::uint64_t _warmupBoundary = 0;
     bool _measuring = false;
+    /** A measurement reset has been requested but not yet executed.
+     *  resetForMeasurement touches every node, so under the parallel
+     *  kernel it runs as a window-barrier action; this flag keeps
+     *  issueNext from queueing it once per request until it lands. */
+    bool _resetPending = false;
     sim::Tick _measureStart = 0;
     sim::Tick _lastReply = 0;
 };

@@ -133,7 +133,8 @@ ResourceProbe::ResourceProbe(Tracer &tracer, int node, Kind kind)
       _kind(kind),
       _depthGauge(tracer.metrics().gauge(
           kind == Kind::Cpu ? "cpu.queue_depth" : "disk.queue_depth",
-          node))
+          node)),
+      _diskReadNs(tracer.metrics().histogram("disk.read_ns", node))
 {
 }
 
@@ -163,9 +164,7 @@ ResourceProbe::jobFinished(const sim::FifoResource &res, int category,
     } else {
         _tracer.spanEnd(_node, Ev::DiskRead, 0,
                         static_cast<std::uint64_t>(busy));
-        _tracer.metrics()
-            .histogram("disk.read_ns", _node)
-            .add(static_cast<double>(busy));
+        _diskReadNs.add(static_cast<double>(busy));
     }
 }
 

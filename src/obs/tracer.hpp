@@ -187,6 +187,10 @@ class ResourceProbe final : public sim::ResourceListener
     int _node;
     Kind _kind;
     Gauge &_depthGauge;
+    /** Resolved at construction: registry lookups mutate the shared
+     *  name map, which must not happen from concurrent domains once
+     *  the parallel kernel is running. */
+    stats::LogHistogram &_diskReadNs;
 };
 
 } // namespace press::obs

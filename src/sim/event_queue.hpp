@@ -94,6 +94,18 @@ class EventQueue
     /** Remove and return the earliest event's callback and time. */
     std::pair<Tick, EventFn> pop();
 
+    /** An event removed together with its scheduling metadata — the
+     *  queue-migration primitive of the parallel kernel (events move
+     *  between the global queue and the per-domain shards). */
+    struct Popped {
+        Tick when = 0;
+        EventFn fn;
+        Domain domain = NoDomain;
+    };
+
+    /** Remove and return the earliest event with its domain. */
+    Popped popEntry();
+
     /**
      * Remove the earliest event and invoke its callback in place (slot
      * chunks are address-stable, so pushes from inside the callback are

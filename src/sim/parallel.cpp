@@ -1,0 +1,435 @@
+#include "parallel.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace press::sim {
+
+namespace detail {
+
+ExecContext *&
+tlsContext()
+{
+    thread_local ExecContext *ctx = nullptr;
+    return ctx;
+}
+
+} // namespace detail
+
+namespace {
+/** Yield-spin rounds before a parked worker falls back to the condition
+ *  variable. Short: on an oversubscribed host the yields donate the
+ *  time slice, on an idle multicore they cover the controller's
+ *  back-to-back dispatch case. */
+constexpr int GateSpinRounds = 128;
+} // namespace
+
+void
+ParallelKernel::SpinBarrier::arrive()
+{
+    std::uint64_t gen = _gen.load(std::memory_order_acquire);
+    if (_arrived.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        _parties) {
+        _arrived.store(0, std::memory_order_relaxed);
+        _gen.fetch_add(1, std::memory_order_release);
+    } else {
+        while (_gen.load(std::memory_order_acquire) == gen)
+            std::this_thread::yield();
+    }
+}
+
+ParallelKernel::ParallelKernel(Simulator &sim, const ParallelPlan &plan,
+                               Tick until)
+    : _sim(sim), _plan(plan), _until(until),
+      _cap(until == MaxTick ? MaxTick : until + 1)
+{
+    PRESS_ASSERT(_plan.domains >= 1, "parallel plan needs >= 1 domain");
+    PRESS_ASSERT(_plan.lookahead > 0,
+                 "parallel plan needs a positive lookahead bound");
+    _plan.threads = std::clamp(_plan.threads, 1, _plan.domains);
+    _shards.reserve(_plan.domains);
+    for (Domain d = 0; d < _plan.domains; ++d) {
+        auto s = std::make_unique<detail::Shard>();
+        s->id = d;
+        s->out.resize(_plan.domains);
+        s->edges.resize(_plan.domains);
+        _shards.push_back(std::move(s));
+    }
+}
+
+void
+ParallelKernel::migrateIn()
+{
+    EventQueue &q = _sim._queue;
+    while (!q.empty()) {
+        EventQueue::Popped p = q.popEntry();
+        PRESS_ASSERT(
+            p.domain >= 0 && p.domain < _plan.domains,
+            "parallel run: pending event in domain ", p.domain,
+            " outside [0, ", _plan.domains,
+            ") — events scheduled between runs inherit NoDomain unless "
+            "setCurrentDomain()/scheduleIn() tags them");
+        _shards[p.domain]->queue.push(p.when, std::move(p.fn), p.domain);
+    }
+}
+
+Tick
+ParallelKernel::mergeOut()
+{
+    // Leftover events (an until-capped run) go back to the sequential
+    // queue in global (tick, shard, FIFO) order, so a later run() or
+    // runParallel() continues exactly where the windows stopped.
+    for (;;) {
+        detail::Shard *best = nullptr;
+        for (auto &sp : _shards) {
+            if (sp->queue.empty())
+                continue;
+            if (!best || sp->queue.nextTime() < best->queue.nextTime())
+                best = sp.get();
+        }
+        if (!best)
+            break;
+        EventQueue::Popped p = best->queue.popEntry();
+        _sim._queue.push(p.when, std::move(p.fn), p.domain);
+    }
+
+    std::uint64_t executed = 0;
+    Tick last = 0;
+    bool any = false;
+    for (auto &sp : _shards) {
+        executed += sp->executed;
+        if (sp->executed) {
+            any = true;
+            last = std::max(last, sp->lastExec);
+        }
+    }
+    _sim._executed += executed;
+
+    _sim._laneStats.clear();
+    for (auto &sp : _shards)
+        for (Domain to = 0; to < _plan.domains; ++to) {
+            const detail::EdgeStat &e = sp->edges[to];
+            if (e.count == 0)
+                continue;
+            _sim._laneStats.push_back(
+                {sp->id, to, e.count, e.minDelay, _plan.lookahead});
+        }
+
+    // Mirror run()'s clock semantics: the drained queue leaves the
+    // clock at the last executed event, a capped run parks it at
+    // `until`.
+    if (_sim._queue.empty()) {
+        if (any)
+            _sim._now = std::max(_sim._now, last);
+    } else {
+        _sim._now = _until;
+    }
+    _sim._currentDomain = NoDomain;
+    return _sim._now;
+}
+
+void
+ParallelKernel::recordEdge(Domain from, Domain to, Tick delay)
+{
+    detail::EdgeStat &e = _shards[from]->edges[to];
+    ++e.count;
+    if (e.minDelay < 0 || delay < e.minDelay)
+        e.minDelay = delay;
+}
+
+void
+ParallelKernel::push(Tick when, EventFn fn, Domain to)
+{
+    detail::ExecContext *ctx = detail::tlsContext();
+    PRESS_ASSERT(ctx && ctx->kernel == this,
+                 "schedule into a parallel run from a thread the kernel "
+                 "does not own");
+    PRESS_ASSERT(to >= 0 && to < _plan.domains,
+                 "parallel kernel: event domain ", to, " outside [0, ",
+                 _plan.domains, ") — tag the event with scheduleIn()");
+    if (ctx->shard != nullptr) {
+        if (to == ctx->domain) {
+            ctx->shard->queue.push(when, std::move(fn), to);
+            return;
+        }
+        // The conservative-lookahead invariant, enforced: an event
+        // landing inside the current window could be observed by a
+        // shard that already executed past it.
+        PRESS_ASSERT(when >= _winEnd,
+                     "cross-domain event below the lookahead bound: ",
+                     ctx->domain, " -> ", to, " at tick ", when,
+                     " inside the window ending ", _winEnd,
+                     " (use crossCall for zero-delay state handoffs)");
+        recordEdge(ctx->domain, to, when - ctx->now);
+        ctx->shard->out[to].push_back({when, std::move(fn)});
+        return;
+    }
+    // Controller between phases (drain, barrier actions): exclusive
+    // access to every shard queue.
+    PRESS_ASSERT(ctx->controller, "schedule from a parked worker");
+    if (to != ctx->domain && ctx->domain != NoDomain)
+        recordEdge(ctx->domain, to, when - ctx->now);
+    _shards[to]->queue.push(when, std::move(fn), to);
+}
+
+void
+ParallelKernel::crossCall(Domain to, EventFn fn)
+{
+    detail::ExecContext *ctx = detail::tlsContext();
+    PRESS_ASSERT(ctx && ctx->kernel == this,
+                 "crossCall into a parallel run from a thread the "
+                 "kernel does not own");
+    PRESS_ASSERT(to >= 0 && to < _plan.domains,
+                 "crossCall into unknown domain ", to);
+    if (to == ctx->domain) {
+        fn();
+        return;
+    }
+    if (ctx->shard != nullptr) {
+        // Deferred to the start of the next window: the earliest point
+        // the target domain can observe foreign state without breaking
+        // window independence. Not recorded as a lane edge — crossCall
+        // is the documented exemption from the lookahead bound, and the
+        // lane table measures scheduling edges only.
+        ctx->shard->out[to].push_back({_winEnd, std::move(fn)});
+        return;
+    }
+    PRESS_ASSERT(ctx->controller, "crossCall from a parked worker");
+    _shards[to]->queue.push(_winEnd, std::move(fn), to);
+}
+
+void
+ParallelKernel::atBarrier(EventFn fn)
+{
+    detail::ExecContext *ctx = detail::tlsContext();
+    PRESS_ASSERT(ctx && ctx->kernel == this,
+                 "atBarrier into a parallel run from a thread the "
+                 "kernel does not own");
+    if (ctx->shard != nullptr) {
+        ctx->shard->barrier.push_back(std::move(fn));
+        return;
+    }
+    PRESS_ASSERT(ctx->controller, "atBarrier from a parked worker");
+    fn(); // the controller between windows *is* at a barrier
+}
+
+void
+ParallelKernel::execShard(detail::Shard &shard, detail::ExecContext &ctx)
+{
+    ctx.shard = &shard;
+    ctx.domain = shard.id;
+    EventQueue &q = shard.queue;
+    while (!q.empty()) {
+        Tick when = q.nextTime();
+        if (when >= _winEnd)
+            break;
+        ctx.now = when;
+        shard.lastExec = when;
+        ++shard.executed;
+        q.fireNext();
+    }
+    ctx.shard = nullptr;
+    ctx.domain = NoDomain;
+}
+
+void
+ParallelKernel::drainInto(detail::Shard &dst)
+{
+    // Ascending source order, FIFO within a lane: the insertion
+    // sequence into dst's queue is a pure function of the window's
+    // events, never of worker interleaving.
+    for (Domain src : _active) {
+        std::vector<detail::Mail> &lane = _shards[src]->out[dst.id];
+        if (lane.empty())
+            continue;
+        for (detail::Mail &m : lane)
+            dst.queue.push(m.when, std::move(m.fn), dst.id);
+        lane.clear();
+    }
+}
+
+void
+ParallelKernel::execOwned(int worker, detail::ExecContext &ctx)
+{
+    for (std::size_t d = static_cast<std::size_t>(worker);
+         d < _shards.size();
+         d += static_cast<std::size_t>(_plan.threads)) {
+        detail::Shard &s = *_shards[d];
+        if (s.queue.nextTime() < _winEnd)
+            execShard(s, ctx);
+    }
+}
+
+void
+ParallelKernel::drainOwned(int worker)
+{
+    for (std::size_t d = static_cast<std::size_t>(worker);
+         d < _shards.size();
+         d += static_cast<std::size_t>(_plan.threads))
+        drainInto(*_shards[d]);
+}
+
+void
+ParallelKernel::runBarrierActions(detail::ExecContext &ctx)
+{
+    for (auto &sp : _shards) {
+        detail::Shard &s = *sp;
+        if (s.barrier.empty())
+            continue;
+        // Swap out first: an action may request further barrier work,
+        // which (running on the controller) executes inline.
+        std::vector<EventFn> pending;
+        pending.swap(s.barrier);
+        ctx.domain = s.id;
+        ctx.now = _winEnd;
+        for (EventFn &fn : pending)
+            fn();
+        ctx.domain = NoDomain;
+    }
+}
+
+bool
+ParallelKernel::pendingBarrierActions() const
+{
+    for (const auto &sp : _shards)
+        if (!sp->barrier.empty())
+            return true;
+    return false;
+}
+
+void
+ParallelKernel::waitForWindow(std::uint64_t seen)
+{
+    for (int spin = 0; spin < GateSpinRounds; ++spin) {
+        if (_windowGen.load(std::memory_order_acquire) != seen ||
+            _stopFlag.load(std::memory_order_acquire))
+            return;
+        std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lock(_gateMutex);
+    ++_sleepers;
+    _gateCv.wait(lock, [&] {
+        return _windowGen.load(std::memory_order_acquire) != seen ||
+               _stopFlag.load(std::memory_order_acquire);
+    });
+    --_sleepers;
+}
+
+void
+ParallelKernel::openWindow()
+{
+    bool wake;
+    {
+        std::lock_guard<std::mutex> lock(_gateMutex);
+        _windowGen.fetch_add(1, std::memory_order_release);
+        wake = _sleepers > 0;
+    }
+    if (wake)
+        _gateCv.notify_all();
+}
+
+void
+ParallelKernel::stopWorkers()
+{
+    {
+        std::lock_guard<std::mutex> lock(_gateMutex);
+        _stopFlag.store(true, std::memory_order_release);
+    }
+    _gateCv.notify_all();
+    for (std::thread &t : _workers)
+        t.join();
+    _workers.clear();
+}
+
+void
+ParallelKernel::workerMain(int worker)
+{
+    detail::ExecContext ctx;
+    ctx.sim = &_sim;
+    ctx.kernel = this;
+    detail::tlsContext() = &ctx;
+    std::uint64_t seen = 0;
+    for (;;) {
+        waitForWindow(seen);
+        if (_stopFlag.load(std::memory_order_acquire))
+            break;
+        seen = _windowGen.load(std::memory_order_acquire);
+        execOwned(worker, ctx);
+        _execDone.arrive();
+        drainOwned(worker);
+        _drainDone.arrive();
+    }
+    detail::tlsContext() = nullptr;
+}
+
+Tick
+ParallelKernel::run()
+{
+    migrateIn();
+
+    _execDone.init(_plan.threads);
+    _drainDone.init(_plan.threads);
+    _workers.reserve(static_cast<std::size_t>(_plan.threads) - 1);
+    for (int w = 1; w < _plan.threads; ++w)
+        _workers.emplace_back([this, w] { workerMain(w); });
+
+    detail::ExecContext ctx;
+    ctx.sim = &_sim;
+    ctx.kernel = this;
+    ctx.controller = true;
+    detail::tlsContext() = &ctx;
+
+    for (;;) {
+        Tick t = MaxTick;
+        for (auto &sp : _shards)
+            t = std::min(t, sp->queue.nextTime());
+        if (t >= _cap) {
+            // Out of in-window work; pending barrier actions may still
+            // schedule more (e.g. the measurement reset's open-loop
+            // arrival seeding).
+            if (pendingBarrierActions()) {
+                runBarrierActions(ctx);
+                continue;
+            }
+            break;
+        }
+
+        Tick end = t > MaxTick - _plan.lookahead ? MaxTick
+                                                 : t + _plan.lookahead;
+        _winEnd = std::min(end, _cap);
+        ++_windows;
+
+        _active.clear();
+        for (auto &sp : _shards)
+            if (sp->queue.nextTime() < _winEnd)
+                _active.push_back(sp->id);
+
+        if (_plan.threads == 1 || _active.size() == 1) {
+            // Inline window: executing the active shards serially in
+            // ascending id order is output-identical to a dispatched
+            // window (shards are independent inside a window), and the
+            // sparse common case never pays a worker wake-up.
+            for (Domain d : _active)
+                execShard(*_shards[d], ctx);
+            for (auto &sp : _shards)
+                drainInto(*sp);
+            runBarrierActions(ctx);
+            continue;
+        }
+
+        ++_dispatched;
+        openWindow();
+        execOwned(0, ctx);
+        _execDone.arrive();
+        drainOwned(0);
+        _drainDone.arrive();
+        runBarrierActions(ctx);
+    }
+
+    stopWorkers();
+    detail::tlsContext() = nullptr;
+    return mergeOut();
+}
+
+} // namespace press::sim

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The parallel event kernel: conservative lookahead windows over
+ * per-domain event queues.
+ *
+ * The sharding exploits the invariant check::CausalityChecker verifies
+ * on every run: no cross-domain scheduling edge carries less than the
+ * fabric wire latency. All events inside a window [T, T + lookahead)
+ * are therefore causally independent across domains — a domain cannot
+ * observe another domain's events from the same window — so the window
+ * can execute with one thread per domain and no locks on the hot path.
+ *
+ * One iteration of the controller loop:
+ *
+ *   1. T  = min over shards of the earliest pending tick; the window
+ *      is [T, W) with W = min(T + lookahead, until + 1).
+ *   2. exec: each worker runs its shards' events with tick < W against
+ *      the shard's private queue. Same-domain schedules go straight
+ *      back into that queue; cross-domain schedules (which the kernel
+ *      asserts land at tick >= W) go into a per-(from, to) outbox lane.
+ *   3. drain: after an exec barrier, each shard's owner pulls its
+ *      inbound lanes in ascending source order (FIFO within a lane)
+ *      into the shard queue. The drain order is a pure function of the
+ *      event times, so per-shard insertion sequences — and with them
+ *      the FIFO tie-break — are identical for every thread count:
+ *      that is the whole byte-identity argument.
+ *   4. barrier actions (Simulator::atBarrier) run on the controller
+ *      with exclusive access to every shard.
+ *
+ * Windows with a single active shard — the common case at cluster
+ * event densities — are executed inline by the controller without
+ * waking any worker: a serial execution of the active shards in
+ * ascending id order is output-identical to a dispatched window
+ * because shards are independent within the window. Parked workers
+ * wait on a short yield-spin followed by a condition variable, so an
+ * oversubscribed host (or a sparse simulation) never melts on spins.
+ */
+
+#ifndef PRESS_SIM_PARALLEL_HPP
+#define PRESS_SIM_PARALLEL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace press::sim {
+
+namespace detail {
+
+/** One deferred cross-domain event, parked in an outbox lane until the
+ *  window barrier. */
+struct Mail {
+    Tick when = 0;
+    EventFn fn;
+};
+
+/** Per-(from, to) lane statistics (single-writer: the source shard's
+ *  owner during exec, the controller between windows). */
+struct EdgeStat {
+    std::uint64_t count = 0;
+    Tick minDelay = -1;
+};
+
+/**
+ * One scheduling domain's slice of the kernel: a private event queue,
+ * outbox lanes toward every other shard, and bookkeeping. Padded to a
+ * cache line so neighbouring shards don't false-share.
+ */
+struct alignas(64) Shard {
+    EventQueue queue;
+    std::vector<std::vector<Mail>> out; ///< outbox lane per destination
+    std::vector<EdgeStat> edges;        ///< cross-lane stats per dest
+    std::vector<EventFn> barrier;       ///< atBarrier requests, FIFO
+    Tick lastExec = 0;
+    std::uint64_t executed = 0;
+    Domain id = NoDomain;
+};
+
+/**
+ * What a worker thread knows while executing events: its simulator,
+ * the shard whose events are firing, and the firing event's (tick,
+ * domain) — the parallel-mode backing of Simulator::now() and
+ * currentDomain(). The controller keeps shard null outside the exec
+ * phase (drains and barrier actions run with exclusive access).
+ */
+struct ExecContext {
+    Simulator *sim = nullptr;
+    ParallelKernel *kernel = nullptr;
+    Shard *shard = nullptr;
+    Domain domain = NoDomain;
+    Tick now = 0;
+    bool controller = false;
+};
+
+/** The calling thread's context slot (null outside a parallel run). */
+ExecContext *&tlsContext();
+
+} // namespace detail
+
+/**
+ * One runParallel() invocation: owns the shards, the worker pool and
+ * the window loop. Constructed on Simulator::runParallel()'s stack;
+ * Simulator routes schedule/now/crossCall through it while it is live.
+ */
+class ParallelKernel
+{
+  public:
+    ParallelKernel(Simulator &sim, const ParallelPlan &plan, Tick until);
+
+    ParallelKernel(const ParallelKernel &) = delete;
+    ParallelKernel &operator=(const ParallelKernel &) = delete;
+
+    /** Migrate the queue in, run the window loop to completion, merge
+     *  leftovers back. @return the final simulated time. */
+    Tick run();
+
+    /** Simulator entry points; require the caller to hold a live
+     *  ExecContext of this kernel. @{ */
+    void push(Tick when, EventFn fn, Domain to);
+    void crossCall(Domain to, EventFn fn);
+    void atBarrier(EventFn fn);
+    /** @} */
+
+    /** Windows opened / windows that woke the worker pool (the rest ran
+     *  inline on the controller). @{ */
+    std::uint64_t windows() const { return _windows; }
+    std::uint64_t dispatchedWindows() const { return _dispatched; }
+    /** @} */
+
+  private:
+    /** Spin-then-yield barrier for the two in-window rendezvous (exec
+     *  done, drain done); participants are actively running, so a
+     *  sleep would cost more than the yield loop. */
+    class SpinBarrier
+    {
+      public:
+        void init(int parties) { _parties = parties; }
+        void arrive();
+
+      private:
+        int _parties = 1;
+        std::atomic<int> _arrived{0};
+        std::atomic<std::uint64_t> _gen{0};
+    };
+
+    void workerMain(int worker);
+    void waitForWindow(std::uint64_t seen);
+    void openWindow();
+    void stopWorkers();
+    void execOwned(int worker, detail::ExecContext &ctx);
+    void drainOwned(int worker);
+    void execShard(detail::Shard &shard, detail::ExecContext &ctx);
+    void drainInto(detail::Shard &dst);
+    void runBarrierActions(detail::ExecContext &ctx);
+    bool pendingBarrierActions() const;
+    void recordEdge(Domain from, Domain to, Tick delay);
+    void migrateIn();
+    Tick mergeOut();
+
+    Simulator &_sim;
+    ParallelPlan _plan;
+    Tick _until;
+    Tick _cap; ///< first tick past the run: until + 1, saturated
+
+    std::vector<std::unique_ptr<detail::Shard>> _shards;
+    std::vector<Domain> _active; ///< shards with events in the window
+    Tick _winEnd = 0;
+
+    std::vector<std::thread> _workers;
+    std::atomic<std::uint64_t> _windowGen{0};
+    std::atomic<bool> _stopFlag{false};
+    std::mutex _gateMutex;
+    std::condition_variable _gateCv;
+    int _sleepers = 0; ///< guarded by _gateMutex
+    SpinBarrier _execDone;
+    SpinBarrier _drainDone;
+
+    std::uint64_t _windows = 0;
+    std::uint64_t _dispatched = 0;
+};
+
+} // namespace press::sim
+
+#endif // PRESS_SIM_PARALLEL_HPP

@@ -144,6 +144,19 @@ ViaNic::processSend(VirtualInterface &vi, DescriptorPtr desc)
 }
 
 void
+ViaNic::completeOnSender(VirtualInterface &src_vi, DescriptorPtr desc,
+                         Status status, bool break_vi)
+{
+    _sim.crossCall(_fabric.portDomain(src_vi.node()),
+                   [vi = &src_vi, desc = std::move(desc), status,
+                    break_vi]() mutable {
+                       if (break_vi)
+                           vi->markBroken();
+                       vi->completeSend(std::move(desc), status);
+                   });
+}
+
+void
 ViaNic::arriveSend(VirtualInterface &dst_vi, DescriptorPtr src_desc,
                    Reliability reliability, VirtualInterface &src_vi)
 {
@@ -154,8 +167,8 @@ ViaNic::arriveSend(VirtualInterface &dst_vi, DescriptorPtr src_desc,
         if (reliability == Reliability::Unreliable)
             ++dst_nic._stats.dropsUnreliable;
         else
-            src_vi.completeSend(std::move(src_desc),
-                                Status::ErrorDisconnected);
+            completeOnSender(src_vi, std::move(src_desc),
+                             Status::ErrorDisconnected);
         return;
     }
 
@@ -174,11 +187,12 @@ ViaNic::arriveSend(VirtualInterface &dst_vi, DescriptorPtr src_desc,
             ++dst_nic._stats.dropsUnreliable;
             // Sender already completed at TX time; nothing more to do.
         } else {
-            // Reliable connections break on receive overrun.
+            // Reliable connections break on receive overrun. The
+            // sender side breaks (and completes) in its own domain.
             dst_vi.markBroken();
-            src_vi.markBroken();
-            src_vi.completeSend(std::move(src_desc),
-                                Status::ErrorRecvOverrun);
+            completeOnSender(src_vi, std::move(src_desc),
+                             Status::ErrorRecvOverrun,
+                             /*break_vi=*/true);
         }
         return;
     }
@@ -196,7 +210,8 @@ ViaNic::arriveSend(VirtualInterface &dst_vi, DescriptorPtr src_desc,
     dst_vi.completeRecv(std::move(recv));
 
     if (reliability != Reliability::Unreliable)
-        src_vi.completeSend(std::move(src_desc), Status::Complete);
+        completeOnSender(src_vi, std::move(src_desc),
+                         Status::Complete);
 }
 
 void
@@ -209,8 +224,8 @@ ViaNic::arriveRdma(VirtualInterface &dst_vi, DescriptorPtr src_desc,
         if (reliability == Reliability::Unreliable)
             ++dst_nic._stats.dropsUnreliable;
         else
-            src_vi.completeSend(std::move(src_desc),
-                                Status::ErrorDisconnected);
+            completeOnSender(src_vi, std::move(src_desc),
+                             Status::ErrorDisconnected);
         return;
     }
 
@@ -225,15 +240,16 @@ ViaNic::arriveRdma(VirtualInterface &dst_vi, DescriptorPtr src_desc,
         ++dst_nic._stats.rdmaBadAddress;
         if (reliability != Reliability::Unreliable) {
             dst_vi.markBroken();
-            src_vi.markBroken();
-            src_vi.completeSend(std::move(src_desc),
-                                Status::ErrorNotRegistered);
+            completeOnSender(src_vi, std::move(src_desc),
+                             Status::ErrorNotRegistered,
+                             /*break_vi=*/true);
         }
         return;
     }
 
     if (reliability != Reliability::Unreliable)
-        src_vi.completeSend(std::move(src_desc), Status::Complete);
+        completeOnSender(src_vi, std::move(src_desc),
+                         Status::Complete);
 }
 
 } // namespace press::via

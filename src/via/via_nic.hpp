@@ -140,6 +140,19 @@ class ViaNic
     void arriveRdma(VirtualInterface &dst_vi, DescriptorPtr src_desc,
                     Reliability reliability, VirtualInterface &src_vi);
 
+    /**
+     * Deposit a send completion (optionally breaking the VI first) on
+     * the *sender's* scheduling domain. Reliable completions are
+     * decided at the receiver but mutate sender state — the one
+     * reverse edge in the VIA model with no wire delay under it, so it
+     * rides Simulator::crossCall: inline in sequential runs, deferred
+     * to the next window under the parallel kernel. Keeping
+     * markBroken() inside the same hop keeps every VI's state
+     * domain-local.
+     */
+    void completeOnSender(VirtualInterface &src_vi, DescriptorPtr desc,
+                          Status status, bool break_vi = false);
+
     sim::Simulator &_sim;
     net::Fabric &_fabric;
     net::NodeId _node;

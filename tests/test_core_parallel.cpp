@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Full-cluster byte-identity tests for the parallel kernel.
+ *
+ * config.threads >= 1 runs the windowed kernel; its determinism
+ * contract is that the complete observable output of a run — results
+ * struct, stats dump, trace bytes, lookahead lane table — is identical
+ * for every thread count. threads == 1 is the baseline (same kernel,
+ * no concurrency); 2 and 4 must reproduce it bit-for-bit on the
+ * golden-trio scenarios plus the LARD front-end (whose load-table
+ * decrement rides the crossCall reverse edge).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/cluster.hpp"
+#include "obs/trace_io.hpp"
+#include "workload/trace_gen.hpp"
+
+using namespace press;
+
+namespace {
+
+workload::Trace
+smallTrace()
+{
+    auto spec = workload::clarknetSpec();
+    spec.numRequests = 6000;
+    return workload::generateTrace(spec);
+}
+
+/** Everything a run can show the outside world, as one string. */
+std::string
+runFingerprint(core::PressConfig config, const workload::Trace &trace)
+{
+    config.trace = true;
+    core::PressCluster cluster(config, trace);
+    auto r = cluster.run(3000);
+
+    std::ostringstream fp;
+    fp.precision(17);
+    fp << "throughput " << r.throughput << "\n";
+    fp << "avg_ms " << r.avgLatencyMs << "\n";
+    fp << "p50_ms " << r.p50LatencyMs << "\n";
+    fp << "p99_ms " << r.p99LatencyMs << "\n";
+    fp << "measured " << r.requestsMeasured << "\n";
+    fp << "forward " << r.forwardFraction << "\n";
+    fp << "local_hit " << r.localHitFraction << "\n";
+    fp << "disk_reads " << r.diskReads << "\n";
+    fp << "insertions " << r.cacheInsertions << "\n";
+    fp << "cpu_util " << r.cpuUtilization << "\n";
+    fp << "events " << cluster.simulator().eventsExecuted() << "\n";
+    fp << "now " << cluster.simulator().now() << "\n";
+    cluster.dumpStats(fp);
+    cluster.writeLaneTable(fp);
+    if (r.trace)
+        obs::writeTrace(fp, *r.trace);
+    return fp.str();
+}
+
+void
+expectThreadIdentity(core::PressConfig config)
+{
+    auto trace = smallTrace();
+    config.threads = 1;
+    std::string base = runFingerprint(config, trace);
+    ASSERT_FALSE(base.empty());
+
+    config.threads = 2;
+    EXPECT_EQ(base, runFingerprint(config, trace));
+
+    config.threads = 4;
+    EXPECT_EQ(base, runFingerprint(config, trace));
+}
+
+} // namespace
+
+TEST(ParallelCluster, ViaV5ByteIdentical)
+{
+    core::PressConfig config;
+    config.protocol = core::Protocol::ViaClan;
+    config.version = core::Version::V5;
+    config.nodes = 4;
+    expectThreadIdentity(config);
+}
+
+TEST(ParallelCluster, TcpFastEthernetByteIdentical)
+{
+    core::PressConfig config;
+    config.protocol = core::Protocol::TcpFastEthernet;
+    config.nodes = 4;
+    expectThreadIdentity(config);
+}
+
+TEST(ParallelCluster, TcpClanByteIdentical)
+{
+    core::PressConfig config;
+    config.protocol = core::Protocol::TcpClan;
+    config.nodes = 4;
+    expectThreadIdentity(config);
+}
+
+TEST(ParallelCluster, LardFrontEndByteIdentical)
+{
+    core::PressConfig config;
+    config.protocol = core::Protocol::TcpFastEthernet;
+    config.distribution = core::Distribution::FrontEndLard;
+    config.nodes = 4;
+    expectThreadIdentity(config);
+}
+
+TEST(ParallelCluster, LaneTableRespectsLookahead)
+{
+    auto trace = smallTrace();
+    core::PressConfig config;
+    config.protocol = core::Protocol::ViaClan;
+    config.version = core::Version::V2;
+    config.nodes = 3;
+    config.threads = 2;
+    core::PressCluster cluster(config, trace);
+    cluster.run(1500);
+
+    const auto &lanes = cluster.simulator().laneStats();
+    ASSERT_FALSE(lanes.empty());
+    for (const auto &lane : lanes) {
+        EXPECT_GE(lane.minDelay, lane.bound)
+            << "lane " << lane.from << " -> " << lane.to
+            << " broke the lookahead bound";
+        EXPECT_GT(lane.count, 0u);
+    }
+}
+
+TEST(ParallelCluster, ChecksForcedOffUnderParallel)
+{
+    // check.sh exports PRESS_CHECK=1/PRESS_CAUSALITY=1; both observers
+    // assume one globally ordered stream, so the parallel constructor
+    // must refuse to create them no matter what the environment says.
+    auto trace = smallTrace();
+    core::PressConfig config;
+    config.protocol = core::Protocol::ViaClan;
+    config.nodes = 2;
+    config.threads = 2;
+    config.viaCheck = core::ViaCheck::Abort;
+    config.causality = core::ViaCheck::Abort;
+    core::PressCluster cluster(config, trace);
+    EXPECT_EQ(cluster.viaChecker(), nullptr);
+    EXPECT_EQ(cluster.causalityChecker(), nullptr);
+    cluster.run(500);
+    EXPECT_FALSE(cluster.simulator().laneStats().empty());
+}

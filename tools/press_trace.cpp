@@ -30,6 +30,7 @@
 #include "obs/summary.hpp"
 #include "obs/trace_io.hpp"
 #include "obs/tracer.hpp"
+#include "util/cli.hpp"
 
 using namespace press;
 
@@ -148,14 +149,16 @@ cmdDump(const obs::TraceData &data, int argc, char **argv)
     std::uint64_t limit = 0;
     const char *code_name = nullptr;
     for (int i = 0; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--node") && i + 1 < argc)
-            node = std::atoi(argv[++i]);
-        else if (!std::strcmp(argv[i], "--code") && i + 1 < argc)
-            code_name = argv[++i];
-        else if (!std::strcmp(argv[i], "--req") && i + 1 < argc)
-            req = std::strtoll(argv[++i], nullptr, 0);
-        else if (!std::strcmp(argv[i], "--limit") && i + 1 < argc)
-            limit = std::strtoull(argv[++i], nullptr, 10);
+        if (!std::strcmp(argv[i], "--node"))
+            node = static_cast<int>(
+                util::cliInt(argc, argv, i, 0, 1 << 20));
+        else if (!std::strcmp(argv[i], "--code"))
+            code_name = util::cliValue(argc, argv, i);
+        else if (!std::strcmp(argv[i], "--req"))
+            req = util::cliInt(argc, argv, i, 0,
+                               std::numeric_limits<long long>::max());
+        else if (!std::strcmp(argv[i], "--limit"))
+            limit = util::cliU64(argc, argv, i);
         else
             return usage(std::cerr);
     }
