@@ -101,8 +101,8 @@ Options::parse(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--requests")) {
             o.maxRequests = util::cliU64(argc, argv, i);
         } else if (!std::strcmp(argv[i], "--nodes")) {
-            o.nodes = static_cast<int>(util::cliInt(argc, argv, i, 1,
-                                                    4096));
+            o.nodesList = util::cliIntList(argc, argv, i, 1, 4096);
+            o.nodes = o.nodesList.front();
         } else if (!std::strcmp(argv[i], "--jobs")) {
             o.jobs = static_cast<int>(util::cliInt(argc, argv, i, 0,
                                                    4096));
@@ -126,7 +126,10 @@ Options::parse(int argc, char **argv)
                    "120000 requests\n"
                    "  --requests N    cap each trace at N requests "
                    "(0 = no cap)\n"
-                   "  --nodes N       cluster size (default 8)\n"
+                   "  --nodes N[,N..] cluster size (default 8); "
+                   "size-sweep benches\n"
+                   "                  (scalability_nodes) run every "
+                   "listed size\n"
                    "  --jobs N        sweep worker threads (default: "
                    "hardware concurrency);\n"
                    "                  output is byte-identical for any "

@@ -35,6 +35,11 @@ namespace press::bench {
 struct Options {
     std::uint64_t maxRequests = 600000; ///< per-run cap (0 = no cap)
     int nodes = 8;
+    /** The full `--nodes` operand as a comma list. Benches that sweep
+     *  cluster sizes iterate this; single-size benches read `nodes`
+     *  (the first element). Empty until --nodes is given, so sweeps
+     *  can fall back to their own default ladder. */
+    std::vector<int> nodesList;
     int jobs = 0; ///< sweep worker threads (0 = hardware concurrency)
     bool quick = false;
 

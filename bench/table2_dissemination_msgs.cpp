@@ -29,12 +29,16 @@ main(int argc, char **argv)
            opts);
     TraceSet traces(opts);
 
+    // The paper's five strategies plus the scalable extensions
+    // (gossip and tree, docs/simulation.md "Scalable dissemination").
     const std::vector<std::pair<std::string, Dissemination>> strategies =
         {{"NLB", Dissemination::none()},
          {"L1", Dissemination::broadcast(1)},
          {"L4", Dissemination::broadcast(4)},
          {"L16", Dissemination::broadcast(16)},
-         {"PB", Dissemination::piggyBack()}};
+         {"PB", Dissemination::piggyBack()},
+         {"G4", Dissemination::gossip()},
+         {"T4", Dissemination::tree()}};
 
     ParallelRunner runner(opts);
     for (const auto &[name, diss] : strategies) {
@@ -51,8 +55,16 @@ main(int argc, char **argv)
     util::TextTable t;
     t.header({"Version", "Msg type", "Num msgs (K)", "Num bytes (MB)",
               "Avg msg size"});
+    // Per-strategy dissemination totals (gossip/tree cross-check).
+    struct DissemTotals {
+        std::uint64_t rounds = 0, rumorSends = 0, waves = 0,
+                      dissemMsgs = 0;
+    };
+    std::vector<DissemTotals> totals(strategies.size());
+
     std::size_t cell = 0;
-    for (const auto &[name, diss] : strategies) {
+    for (std::size_t si = 0; si < strategies.size(); ++si) {
+        const auto &[name, diss] = strategies[si];
         CommStats sum;
         for (std::size_t i = 0; i < traces.all().size(); ++i) {
             const auto &r = runner[cell++];
@@ -60,6 +72,11 @@ main(int argc, char **argv)
                 sum.byKind[k].msgs += r.comm.byKind[k].msgs;
                 sum.byKind[k].bytes += r.comm.byKind[k].bytes;
             }
+            totals[si].rounds += r.gossipRounds;
+            totals[si].rumorSends += r.gossipRumorSends;
+            totals[si].waves += r.loadWaves + r.cachingWaves;
+            totals[si].dissemMsgs += r.comm.of(MsgKind::Load).msgs +
+                                     r.comm.of(MsgKind::Caching).msgs;
         }
         bool first = true;
         for (MsgKind kind : {MsgKind::Load, MsgKind::Flow,
@@ -78,6 +95,39 @@ main(int argc, char **argv)
         t.separator();
     }
     std::cout << t.render();
+
+    // Analytic vs measured for the scalable kinds: a gossip round
+    // packs every due rumor into at most 2*fanout digest messages
+    // (one Load + one Caching digest per sampled peer) — the rumor
+    // row shows how many per-rumor sends the digests absorbed — and a
+    // tree wave is a spanning tree, exactly N-1 messages. Measured
+    // counts track the caps closely; a wave or round straddling the
+    // warm-up boundary shifts a handful of messages either way.
+    const int n = opts.nodes;
+    const Dissemination g = Dissemination::gossip();
+    util::TextTable a;
+    a.header({"Version", "analytic cap (K)", "measured (K)", "basis"});
+    for (std::size_t si = 0; si < strategies.size(); ++si) {
+        const auto &[name, diss] = strategies[si];
+        if (diss.kind == Dissemination::Kind::Gossip) {
+            double cap = static_cast<double>(totals[si].rounds) * 2 *
+                         g.fanout;
+            a.row({name, util::fmtF(cap / 1e3, 1),
+                   util::fmtF(totals[si].dissemMsgs / 1e3, 1),
+                   std::to_string(totals[si].rounds) +
+                       " rounds x 2 digests x fanout"});
+            a.row({"", "-", util::fmtF(totals[si].rumorSends / 1e3, 1),
+                   "rumor pushes the digests absorbed"});
+        } else if (diss.kind == Dissemination::Kind::Tree) {
+            double cap = static_cast<double>(totals[si].waves) * (n - 1);
+            a.row({name, util::fmtF(cap / 1e3, 1),
+                   util::fmtF(totals[si].dissemMsgs / 1e3, 1),
+                   std::to_string(totals[si].waves) +
+                       " waves x (N-1)"});
+        }
+    }
+    std::cout << "\n" << a.render();
+
     std::cout << "\nPaper (Table 2, full traces): Load msgs 29902K (L1) "
                  "-> 6177K (L4) -> 342K (L16) -> 0 (PB/NLB);\npiggy-"
                  "backing adds ~4 B to every message (e.g. forward "

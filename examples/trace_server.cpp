@@ -12,7 +12,8 @@
  *   trace_server [--trace clarknet|forth|nasa|rutgers | --load FILE]
  *                [--proto tcpfe|tcpclan|via] [--version 0..5]
  *                [--nodes N] [--clients-per-node K]
- *                [--dissemination pb|l1|l4|l16|nlb]
+ *                [--dissemination pb|l1|l4|l16|nlb|g4|t4]
+ *                [--directory replicated|sharded]
  *                [--distribution press|oblivious|lard]
  *                [--requests N] [--save FILE]
  *                [--stats-dump] [--csv FILE]
@@ -64,12 +65,30 @@ main(int argc, char **argv)
                 util::cliInt(argc, argv, i, 1, 1 << 20));
         } else if (!std::strcmp(argv[i], "--dissemination")) {
             std::string d = util::cliValue(argc, argv, i);
-            config.dissemination =
-                d == "pb"    ? Dissemination::piggyBack()
-                : d == "l1"  ? Dissemination::broadcast(1)
-                : d == "l4"  ? Dissemination::broadcast(4)
-                : d == "l16" ? Dissemination::broadcast(16)
-                             : Dissemination::none();
+            if (d == "pb")
+                config.dissemination = Dissemination::piggyBack();
+            else if (d == "l1")
+                config.dissemination = Dissemination::broadcast(1);
+            else if (d == "l4")
+                config.dissemination = Dissemination::broadcast(4);
+            else if (d == "l16")
+                config.dissemination = Dissemination::broadcast(16);
+            else if (d == "g4")
+                config.dissemination = Dissemination::gossip();
+            else if (d == "t4")
+                config.dissemination = Dissemination::tree();
+            else if (d == "nlb")
+                config.dissemination = Dissemination::none();
+            else
+                util::fatal("unknown dissemination ", d);
+        } else if (!std::strcmp(argv[i], "--directory")) {
+            std::string d = util::cliValue(argc, argv, i);
+            if (d == "sharded")
+                config.directoryMode = DirectoryMode::Sharded;
+            else if (d == "replicated")
+                config.directoryMode = DirectoryMode::Replicated;
+            else
+                util::fatal("unknown directory mode ", d);
         } else if (!std::strcmp(argv[i], "--distribution")) {
             std::string d = util::cliValue(argc, argv, i);
             config.distribution =

@@ -18,12 +18,16 @@
 #   (f) parallel: the windowed parallel kernel — golden scenarios must
 #       be byte-identical across --threads 1/2/4, and the kernel's own
 #       tests run under ThreadSanitizer (see docs/simulation.md)
-#   (g) lint pass (clang-tidy when available + project grep bans,
-#       including the nondeterminism and raw-argv bans)
+#   (g) scale: the scalable dissemination paths — a 64-node gossip +
+#       tree smoke with the VIA checker live plus the sharded-vs-
+#       replicated directory oracle (examples/scale_smoke), and a
+#       K=4 tick-race hunt focused on the gossip scenario
+#   (h) lint pass (clang-tidy when available + project grep bans,
+#       including the nondeterminism, raw-argv and raw-RNG bans)
 #
 # Usage: scripts/check.sh [stage...]
-#   stage  any of: tier1 asan tsan trace races parallel lint
-#          (default: all seven, in order)
+#   stage  any of: tier1 asan tsan trace races parallel scale lint
+#          (default: all eight, in order)
 #
 # Every requested stage runs even when an earlier one fails; the
 # summary table at the end shows per-stage pass/fail and the script
@@ -35,7 +39,7 @@ set -uo pipefail
 cd "$(dirname "$0")/.."
 
 if [ $# -eq 0 ]; then
-    STAGES=(tier1 asan tsan trace races parallel lint)
+    STAGES=(tier1 asan tsan trace races parallel scale lint)
 else
     STAGES=("$@")
 fi
@@ -143,6 +147,20 @@ stage_parallel() {
         -R "ParallelKernel|SimulatorDomain|ParallelCluster"
 }
 
+stage_scale() {
+    cmake -B build -S . -G Ninja -DPRESS_WERROR=ON
+    cmake --build build -j "$(nproc)" --target scale_smoke press_races
+    # 64-node gossip + tree runs with the VIA invariant checker live,
+    # plus the sharded-vs-replicated directory oracle: both modes must
+    # answer the whole stream and the drained shard owners' maps must
+    # mirror the real caches (see docs/simulation.md).
+    ./build/examples/scale_smoke
+    # Tick-race hunt focused on the gossip + sharded scenario: K=4
+    # seeded equal-tick permutations against the FIFO baseline.
+    ./build/tools/press_races --seeds 4 --requests 8000 --filter G4 \
+        --table build/lookahead-scale.txt
+}
+
 stage_lint() {
     scripts/lint.sh build
 }
@@ -152,10 +170,10 @@ OVERALL=0
 
 for stage in "${STAGES[@]}"; do
     case "$stage" in
-    tier1|asan|tsan|trace|races|parallel|lint) ;;
+    tier1|asan|tsan|trace|races|parallel|scale|lint) ;;
     *)
         echo "check.sh: unknown stage '$stage'" \
-             "(want tier1|asan|tsan|trace|races|parallel|lint)" >&2
+             "(want tier1|asan|tsan|trace|races|parallel|scale|lint)" >&2
         exit 2
         ;;
     esac

@@ -88,6 +88,22 @@ if [ -n "$cli_hits" ]; then
     FAILED=1
 fi
 
+# ------------------------------------------------ seeded-RNG bans
+# Every randomized choice must flow through util::Rng (seeded,
+# per-component) or a deterministic hash chain like the gossip peer
+# sampler (core/dissemination.cpp). libc rand() is hidden global
+# state; a raw std::mt19937 or std::random_device invites unseeded
+# engines. Covers the binaries too, not just src/.
+rng_hits=$(grep -rnE \
+    '(std::rand|[^a-z_]s?rand)\(|std::mt19937|std::random_device' \
+    src/ bench/ tools/ examples/ | grep -vE 'src/util/random' || true)
+if [ -n "$rng_hits" ]; then
+    echo "lint: BANNED pattern 'raw RNG'" \
+         "(use util::Rng or a seeded hash chain):"
+    echo "$rng_hits" | sed 's/^/  /'
+    FAILED=1
+fi
+
 # ---------------------------------------- nondeterminism bans
 # The simulator's contract is bit-identical reruns (the golden tests
 # and the race/causality stage both depend on it); these patterns are

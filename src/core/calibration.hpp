@@ -41,6 +41,10 @@ struct ServiceCosts {
 
     /** [EST] one main-loop pass: poll shared structures, timers. */
     Tick loopPass = 2 * US;
+
+    /** [EST] shard-owner directory probe + route decision (sharded
+     *  cache directory, ForwardRoute::Lookup processing). */
+    Tick dirLookup = 4 * US;
 };
 
 /**
@@ -122,6 +126,12 @@ struct MessageSizes {
     std::uint64_t fileMeta = 61;    ///< RMW file-metadata message (V3+)
     std::uint64_t httpRequest = 300;///< client GET on the external net
     std::uint64_t httpReplyHeader = 250;
+
+    /** Extra header bytes on gossip/tree dissemination rumors
+     *  (origin 4 B + seq 4 B + hops 1 B); charged only when a
+     *  Load/Caching message carries origin >= 0, so the paper's
+     *  configurations keep their exact Table-2 sizes. */
+    std::uint64_t disseminationHeader = 9;
 };
 
 /** The full calibration set. */

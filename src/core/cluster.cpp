@@ -82,6 +82,23 @@ PressCluster::dumpStats(std::ostream &os) const
            << _servers[i]->cache().files() << "\n";
         os << p << "press.cache.used_mb "
            << _servers[i]->cache().usedBytes() / 1e6 << "\n";
+        // New-subsystem lines appear only for configs that use them, so
+        // dumps of the paper's configurations stay byte-identical.
+        if (_config.directoryMode == DirectoryMode::Sharded ||
+            _config.dissemination.kind == Dissemination::Kind::Gossip ||
+            _config.dissemination.kind == Dissemination::Kind::Tree) {
+            os << p << "press.dir.entries "
+               << _servers[i]->directoryEntries() << "\n";
+            os << p << "press.dir.lookups_in " << s.dirLookupsIn << "\n";
+            os << p << "press.dir.home_returns " << s.dirHomeReturns
+               << "\n";
+            os << p << "press.gossip.rounds " << s.gossipRounds << "\n";
+            os << p << "press.gossip.rumor_sends " << s.gossipRumorSends
+               << "\n";
+            os << p << "press.tree.load_waves " << s.loadWaves << "\n";
+            os << p << "press.tree.caching_waves " << s.cachingWaves
+               << "\n";
+        }
         const auto &tx = _comms[i]->txStats();
         for (int k = 0; k < static_cast<int>(MsgKind::NumKinds); ++k)
             os << p << "comm.tx."
@@ -590,6 +607,16 @@ PressCluster::run(std::uint64_t max_requests)
         r.localHitFraction += static_cast<double>(s.localCacheHits);
         r.diskReads += s.localDiskReads + s.serviceDiskReads;
         r.cacheInsertions += s.cacheInsertions;
+        r.gossipRounds += s.gossipRounds;
+        r.gossipRumorSends += s.gossipRumorSends;
+        r.loadWaves += s.loadWaves;
+        r.cachingWaves += s.cachingWaves;
+        r.dirLookups += s.dirLookupsIn;
+        r.dirHomeReturns += s.dirHomeReturns;
+        auto entries =
+            static_cast<std::uint64_t>(server->directoryEntries());
+        r.dirEntriesTotal += entries;
+        r.dirEntriesMaxPerNode = std::max(r.dirEntriesMaxPerNode, entries);
     }
     r.requestsMeasured = replies;
     r.throughput = static_cast<double>(replies) / r.measuredSeconds;

@@ -62,6 +62,20 @@ struct ClusterResults {
     std::uint64_t diskReads = 0;
     std::uint64_t cacheInsertions = 0;
 
+    /** Cache-directory footprint at end of run: the replicated mode
+     *  stores every known (file, mask) pair on every node, the sharded
+     *  mode one shard plus a bounded hot set per node. */
+    std::uint64_t dirEntriesMaxPerNode = 0;
+    std::uint64_t dirEntriesTotal = 0;
+
+    /** Gossip/tree dissemination totals (0 for the paper's kinds). */
+    std::uint64_t gossipRounds = 0;
+    std::uint64_t gossipRumorSends = 0;
+    std::uint64_t loadWaves = 0;
+    std::uint64_t cachingWaves = 0;
+    std::uint64_t dirLookups = 0;     ///< shard-owner lookups answered
+    std::uint64_t dirHomeReturns = 0; ///< lookups bounced home
+
     /** The run's trace snapshot (null unless config.trace was set).
      *  Shared so results stay cheap to copy through sweep runners. */
     std::shared_ptr<obs::TraceData> trace;

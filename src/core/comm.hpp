@@ -87,6 +87,28 @@ class ClusterComm
     /** Announce a cache insertion/eviction to one node. */
     virtual void sendCaching(int dst, const CachingMsg &msg) = 0;
 
+    /**
+     * Gossip: one round's load rumors for one peer in a single
+     * message. The default unpacks into per-rumor sends (correct but
+     * message-count-degenerate); the real backends override to put the
+     * whole digest on the wire as one message.
+     */
+    virtual void
+    sendLoadDigest(int dst, const LoadDigestMsg &msg)
+    {
+        for (const LoadMsg &r : msg.rumors)
+            sendLoad(dst, r);
+    }
+
+    /** Gossip: one round's caching rumors for one peer; see
+     *  sendLoadDigest. */
+    virtual void
+    sendCachingDigest(int dst, const CachingDigestMsg &msg)
+    {
+        for (const CachingMsg &r : msg.rumors)
+            sendCaching(dst, r);
+    }
+
     /** Transfer a file back to the initial node. */
     virtual void sendFile(int dst, const FileMsg &msg) = 0;
 

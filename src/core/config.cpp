@@ -116,6 +116,22 @@ Dissemination::label() const
                (useRmw ? "/rmw" : "");
       case Kind::None:
         return "NLB";
+      case Kind::Gossip:
+        return "G" + std::to_string(fanout);
+      case Kind::Tree:
+        return "T" + std::to_string(fanout);
+    }
+    return "?";
+}
+
+const char *
+directoryModeName(DirectoryMode m)
+{
+    switch (m) {
+      case DirectoryMode::Replicated:
+        return "repl";
+      case DirectoryMode::Sharded:
+        return "shard";
     }
     return "?";
 }
@@ -129,6 +145,8 @@ PressConfig::label() const
         s += std::string("-") + versionName(version);
     if (!(dissemination.kind == Dissemination::Kind::PiggyBack))
         s += "-" + dissemination.label();
+    if (directoryMode == DirectoryMode::Sharded)
+        s += "-S" + std::to_string(dirShards);
     if (distribution != Distribution::LocalityConscious)
         s = std::string(distributionName(distribution)) + "(" + s + ")";
     return s;

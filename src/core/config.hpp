@@ -104,16 +104,37 @@ ViaCheck causalityDefault();
  */
 bool traceDefault();
 
-/** Load-information dissemination strategy (Section 3.3). */
+/** Load-information dissemination strategy (Section 3.3, extended with
+ *  the scalable kinds of ROADMAP item 2 — see docs/simulation.md
+ *  "Scalable dissemination"). */
 struct Dissemination {
     enum class Kind {
         PiggyBack, ///< load carried in every intra-cluster message ("PB")
         Broadcast, ///< explicit broadcasts on threshold ("L1"/"L4"/"L16")
         None,      ///< no load information at all ("NLB")
+        Gossip,    ///< rumors pushed to fanout-k peer samples per round
+        Tree,      ///< static k-ary multicast tree per source
     };
     Kind kind = Kind::PiggyBack;
-    int threshold = 1;     ///< connections delta triggering a broadcast
+    int threshold = 1;     ///< connections delta triggering an update
     bool useRmw = false;   ///< broadcast loads with RMW instead of sends
+
+    /** Gossip/Tree fanout k: peers sampled per gossip round, tree
+     *  arity. */
+    int fanout = 4;
+
+    /** Gossip round period / minimum gap between tree load waves. The
+     *  coalescing this buys is where the O(N^2) -> O(N log N) win
+     *  comes from: L1 broadcasts on every load change, these kinds
+     *  announce at most once per interval. */
+    sim::Tick interval = 20 * util::MS;
+
+    /** Gossip rounds each holder re-pushes a fresh rumor. Every due
+     *  rumor goes out every round — packed into at most one Load plus
+     *  one Caching digest per sampled peer, so the wire carries at
+     *  most 2 * fanout messages per node per interval however many
+     *  rumors are pending. */
+    int gossipRepeats = 2;
 
     static Dissemination piggyBack() { return {Kind::PiggyBack, 1, false}; }
     static Dissemination
@@ -122,9 +143,42 @@ struct Dissemination {
         return {Kind::Broadcast, threshold, rmw};
     }
     static Dissemination none() { return {Kind::None, 1, false}; }
+    static Dissemination
+    gossip(int fanout = 4, sim::Tick interval = 20 * util::MS)
+    {
+        Dissemination d{Kind::Gossip, 1, false};
+        d.fanout = fanout;
+        d.interval = interval;
+        return d;
+    }
+    static Dissemination
+    tree(int fanout = 4, sim::Tick interval = 20 * util::MS)
+    {
+        Dissemination d{Kind::Tree, 1, false};
+        d.fanout = fanout;
+        d.interval = interval;
+        return d;
+    }
 
     std::string label() const;
 };
+
+/**
+ * Cache-directory organisation. Replicated is the paper's design:
+ * every node tracks every cached file (O(F) memory per node, updates
+ * broadcast to N-1 nodes). Sharded hashes each file to one of
+ * `dirShards` shards, each owned by one node: updates are unicast to
+ * the owner, lookups that miss the local shard and hot-set are
+ * resolved through the owner (ForwardMsg Lookup/Serve/Home routes),
+ * cutting per-node directory memory to O(F / min(S, N)) plus a
+ * bounded hot-set.
+ */
+enum class DirectoryMode {
+    Replicated,
+    Sharded,
+};
+
+const char *directoryModeName(DirectoryMode m);
 
 /** Everything needed to instantiate a PRESS cluster. */
 struct PressConfig {
@@ -133,6 +187,17 @@ struct PressConfig {
     Version version = Version::V0;
     Distribution distribution = Distribution::LocalityConscious;
     Dissemination dissemination = Dissemination::piggyBack();
+
+    /** Cache-directory organisation (LocalityConscious only). */
+    DirectoryMode directoryMode = DirectoryMode::Replicated;
+
+    /** Shard count S for DirectoryMode::Sharded; shard s is owned by
+     *  node floor(s * nodes / S) % nodes. */
+    int dirShards = 16;
+
+    /** Sharded mode: per-node hot-set capacity (LRU entries caching
+     *  remote lookup results). */
+    std::uint32_t dirHotSet = 1024;
 
     /** LARD front-end thresholds (Pai et al.): a back-end above
      *  lardHigh triggers replication when another sits below lardLow. */

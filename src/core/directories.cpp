@@ -1,5 +1,6 @@
 #include "directories.hpp"
 
+#include "core/dissemination.hpp"
 #include "util/logging.hpp"
 
 namespace press::core {
@@ -35,57 +36,13 @@ LoadDirectory::leastLoaded() const
     return best;
 }
 
-CacheDirectory::CacheDirectory(int nodes) : _nodes(nodes)
-{
-    PRESS_ASSERT(nodes > 0 && nodes <= 64,
-                 "CacheDirectory supports 1..64 nodes, got ", nodes);
-}
-
-void
-CacheDirectory::update(int node, storage::FileId file, bool cached)
-{
-    PRESS_ASSERT(node >= 0 && node < _nodes, "bad node id ", node);
-    std::uint64_t bit = std::uint64_t{1} << node;
-    if (cached) {
-        _masks[file] |= bit;
-    } else {
-        auto it = _masks.find(file);
-        if (it == _masks.end())
-            return;
-        it->second &= ~bit;
-        if (it->second == 0)
-            _masks.erase(it);
-    }
-}
-
-bool
-CacheDirectory::anyoneCaches(storage::FileId file) const
-{
-    return mask(file) != 0;
-}
-
-bool
-CacheDirectory::caches(int node, storage::FileId file) const
-{
-    PRESS_ASSERT(node >= 0 && node < _nodes, "bad node id ", node);
-    return (mask(file) >> node) & 1;
-}
-
-std::uint64_t
-CacheDirectory::mask(storage::FileId file) const
-{
-    auto it = _masks.find(file);
-    return it == _masks.end() ? 0 : it->second;
-}
-
 int
-CacheDirectory::leastLoadedCaching(storage::FileId file,
-                                   const LoadDirectory &loads) const
+leastLoadedIn(const NodeMask &mask, const LoadDirectory &loads, int nodes,
+              int exclude)
 {
-    std::uint64_t m = mask(file);
     int best = -1;
-    for (int i = 0; i < _nodes; ++i) {
-        if (!((m >> i) & 1))
+    for (int i = 0; i < nodes; ++i) {
+        if (i == exclude || !mask.test(i))
             continue;
         if (best < 0 || loads.load(i) < loads.load(best))
             best = i;
@@ -94,23 +51,206 @@ CacheDirectory::leastLoadedCaching(storage::FileId file,
 }
 
 int
-CacheDirectory::randomCaching(storage::FileId file, util::Rng &rng) const
+randomIn(const NodeMask &mask, util::Rng &rng, int nodes, int exclude)
 {
-    std::uint64_t m = mask(file);
-    if (m == 0)
-        return -1;
     int count = 0;
-    for (int i = 0; i < _nodes; ++i)
-        count += (m >> i) & 1;
+    for (int i = 0; i < nodes; ++i)
+        if (i != exclude && mask.test(i))
+            ++count;
+    if (count == 0)
+        return -1;
     int pick = static_cast<int>(rng.uniformInt(count));
-    for (int i = 0; i < _nodes; ++i) {
-        if ((m >> i) & 1) {
-            if (pick == 0)
-                return i;
-            --pick;
-        }
+    for (int i = 0; i < nodes; ++i) {
+        if (i == exclude || !mask.test(i))
+            continue;
+        if (pick == 0)
+            return i;
+        --pick;
     }
     return -1;
+}
+
+CacheDirectory::CacheDirectory(int nodes) : _nodes(nodes)
+{
+    PRESS_ASSERT(nodes > 0 && nodes <= MaxNodes,
+                 "CacheDirectory supports 1..", MaxNodes, " nodes, got ",
+                 nodes);
+}
+
+void
+CacheDirectory::update(int node, storage::FileId file, bool cached)
+{
+    PRESS_ASSERT(node >= 0 && node < _nodes, "bad node id ", node);
+    if (cached) {
+        _masks[file].set(node);
+    } else {
+        auto it = _masks.find(file);
+        if (it == _masks.end())
+            return;
+        it->second.clear(node);
+        if (it->second.none())
+            _masks.erase(it);
+    }
+}
+
+bool
+CacheDirectory::anyoneCaches(storage::FileId file) const
+{
+    return _masks.find(file) != _masks.end();
+}
+
+bool
+CacheDirectory::caches(int node, storage::FileId file) const
+{
+    PRESS_ASSERT(node >= 0 && node < _nodes, "bad node id ", node);
+    auto it = _masks.find(file);
+    return it != _masks.end() && it->second.test(node);
+}
+
+NodeMask
+CacheDirectory::mask(storage::FileId file) const
+{
+    auto it = _masks.find(file);
+    return it == _masks.end() ? NodeMask{} : it->second;
+}
+
+int
+CacheDirectory::leastLoadedCaching(storage::FileId file,
+                                   const LoadDirectory &loads) const
+{
+    auto it = _masks.find(file);
+    if (it == _masks.end())
+        return -1;
+    return leastLoadedIn(it->second, loads, _nodes);
+}
+
+int
+CacheDirectory::randomCaching(storage::FileId file, util::Rng &rng) const
+{
+    auto it = _masks.find(file);
+    if (it == _masks.end())
+        return -1;
+    return randomIn(it->second, rng, _nodes);
+}
+
+// ---------------------------------------------------------------------
+// ShardedCacheDirectory
+// ---------------------------------------------------------------------
+
+ShardedCacheDirectory::ShardedCacheDirectory(int nodes, int self,
+                                             int shards,
+                                             std::uint32_t hot_cap)
+    : _nodes(nodes), _self(self), _shards(shards), _hotCap(hot_cap)
+{
+    PRESS_ASSERT(nodes > 0 && nodes <= MaxNodes,
+                 "ShardedCacheDirectory supports 1..", MaxNodes,
+                 " nodes, got ", nodes);
+    PRESS_ASSERT(self >= 0 && self < nodes, "bad self id");
+    PRESS_ASSERT(shards >= 1, "need at least one shard");
+}
+
+int
+ShardedCacheDirectory::shardOf(storage::FileId file, int shards)
+{
+    // The same deterministic mix the gossip sampler uses: stable
+    // across runs, platforms and thread counts.
+    return static_cast<int>(
+        DisseminationEngine::mix64(static_cast<std::uint64_t>(file)) %
+        static_cast<std::uint64_t>(shards));
+}
+
+int
+ShardedCacheDirectory::ownerOf(storage::FileId file) const
+{
+    auto s = static_cast<std::uint64_t>(shardOf(file, _shards));
+    return static_cast<int>(s * static_cast<std::uint64_t>(_nodes) /
+                            static_cast<std::uint64_t>(_shards)) %
+           _nodes;
+}
+
+void
+ShardedCacheDirectory::update(int node, storage::FileId file, bool cached)
+{
+    PRESS_ASSERT(node >= 0 && node < _nodes, "bad node id ", node);
+    PRESS_ASSERT(owns(file), "caching update for foreign shard ",
+                 shardOf(file, _shards), " at node ", _self);
+    if (cached) {
+        _owned[file].set(node);
+    } else {
+        auto it = _owned.find(file);
+        if (it == _owned.end())
+            return;
+        it->second.clear(node);
+        if (it->second.none())
+            _owned.erase(it);
+    }
+}
+
+ShardedCacheDirectory::Answer
+ShardedCacheDirectory::lookup(storage::FileId file, NodeMask &out) const
+{
+    if (owns(file)) {
+        auto it = _owned.find(file);
+        out = it == _owned.end() ? NodeMask{} : it->second;
+        return Answer::Owner;
+    }
+    auto it = _hot.find(file);
+    if (it == _hot.end()) {
+        out = NodeMask{};
+        return Answer::Unknown;
+    }
+    out = it->second.mask;
+    return Answer::Hot;
+}
+
+void
+ShardedCacheDirectory::touchHot(storage::FileId file, HotEntry &e)
+{
+    _hotLru.erase(e.lru);
+    _hotLru.push_front(file);
+    e.lru = _hotLru.begin();
+}
+
+void
+ShardedCacheDirectory::evictHotOverflow()
+{
+    while (_hot.size() > _hotCap) {
+        storage::FileId victim = _hotLru.back();
+        _hotLru.pop_back();
+        _hot.erase(victim);
+    }
+}
+
+void
+ShardedCacheDirectory::hotLearn(storage::FileId file, int node, bool cached)
+{
+    PRESS_ASSERT(node >= 0 && node < _nodes, "bad node id ", node);
+    if (owns(file)) {
+        update(node, file, cached);
+        return;
+    }
+    auto it = _hot.find(file);
+    if (it == _hot.end()) {
+        if (!cached || _hotCap == 0)
+            return;
+        _hotLru.push_front(file);
+        HotEntry e;
+        e.mask.set(node);
+        e.lru = _hotLru.begin();
+        _hot.emplace(file, std::move(e));
+        evictHotOverflow();
+        return;
+    }
+    if (cached) {
+        it->second.mask.set(node);
+        touchHot(file, it->second);
+    } else {
+        it->second.mask.clear(node);
+        if (it->second.mask.none()) {
+            _hotLru.erase(it->second.lru);
+            _hot.erase(it);
+        }
+    }
 }
 
 } // namespace press::core

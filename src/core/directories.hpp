@@ -6,12 +6,21 @@
  * node and (2) which nodes cache which files. Both views are *eventually
  * consistent*: they are updated only by arriving messages, so they can be
  * stale — exactly the effect Section 3.3 studies.
+ *
+ * Two cache-directory organisations exist (PressConfig::directoryMode):
+ * the paper's fully replicated CacheDirectory, and ShardedCacheDirectory
+ * (ROADMAP item 2), where each file's caching set lives only at its
+ * shard owner and other nodes keep a bounded LRU hot-set of recently
+ * learned entries — misses are resolved through the owner via the
+ * ForwardRoute::Lookup protocol in press_server.
  */
 
 #ifndef PRESS_CORE_DIRECTORIES_HPP
 #define PRESS_CORE_DIRECTORIES_HPP
 
+#include <array>
 #include <cstdint>
+#include <list>
 #include <unordered_map>
 #include <vector>
 
@@ -19,6 +28,55 @@
 #include "util/random.hpp"
 
 namespace press::core {
+
+/** Largest cluster the directories (and the scalability benches)
+ *  support. */
+inline constexpr int MaxNodes = 256;
+
+/** A set of node ids as a fixed 256-bit mask. */
+class NodeMask
+{
+  public:
+    void set(int i) { _w[word(i)] |= bit(i); }
+    void clear(int i) { _w[word(i)] &= ~bit(i); }
+    bool test(int i) const { return (_w[word(i)] & bit(i)) != 0; }
+
+    bool
+    any() const
+    {
+        for (std::uint64_t w : _w)
+            if (w)
+                return true;
+        return false;
+    }
+    bool none() const { return !any(); }
+
+    int
+    count() const
+    {
+        int n = 0;
+        for (std::uint64_t w : _w)
+            n += __builtin_popcountll(w);
+        return n;
+    }
+
+    bool operator==(const NodeMask &) const = default;
+
+    /** Raw 64-bit word @p i (tests, compact printing). */
+    std::uint64_t words(int i) const { return _w[i]; }
+    static constexpr int Words = MaxNodes / 64;
+
+  private:
+    static std::size_t word(int i)
+    {
+        return static_cast<std::size_t>(i) / 64;
+    }
+    static std::uint64_t bit(int i)
+    {
+        return std::uint64_t{1} << (static_cast<unsigned>(i) % 64);
+    }
+    std::array<std::uint64_t, Words> _w{};
+};
 
 /** A node's view of every node's load (open connections). */
 class LoadDirectory
@@ -47,10 +105,20 @@ class LoadDirectory
     int _self;
 };
 
+/** Least-loaded member of @p mask per @p loads (ties: lowest id),
+ *  skipping @p exclude; -1 when the mask is empty (or only holds
+ *  @p exclude). Shared by both directory organisations. */
+int leastLoadedIn(const NodeMask &mask, const LoadDirectory &loads,
+                  int nodes, int exclude = -1);
+
+/** Uniformly random member of @p mask (no-load-balancing mode),
+ *  skipping @p exclude; -1 when empty. */
+int randomIn(const NodeMask &mask, util::Rng &rng, int nodes,
+             int exclude = -1);
+
 /**
- * A node's view of which nodes cache which files, stored as bitmasks.
- * Cluster sizes beyond 64 nodes are model-only in this repo, so a 64-bit
- * mask suffices (checked at construction).
+ * The paper's cache directory: every node tracks which nodes cache
+ * which files, as one NodeMask per file (full replication).
  */
 class CacheDirectory
 {
@@ -66,8 +134,8 @@ class CacheDirectory
     /** True when @p node is believed to cache @p file. */
     bool caches(int node, storage::FileId file) const;
 
-    /** Bitmask of caching nodes (0 when unknown file). */
-    std::uint64_t mask(storage::FileId file) const;
+    /** Mask of caching nodes (empty when unknown file). */
+    NodeMask mask(storage::FileId file) const;
 
     /**
      * The least-loaded node caching @p file according to @p loads
@@ -87,7 +155,88 @@ class CacheDirectory
 
   private:
     int _nodes;
-    std::unordered_map<storage::FileId, std::uint64_t> _masks;
+    std::unordered_map<storage::FileId, NodeMask> _masks;
+};
+
+/**
+ * The sharded cache directory: file f belongs to shard
+ * hash(f) mod S, owned by node floor(shard * N / S) mod N. The owner
+ * holds the authoritative caching mask; everyone else keeps a bounded
+ * LRU hot-set learned from file arrivals. press_server routes lookups
+ * that miss both through the owner (ForwardRoute::Lookup).
+ */
+class ShardedCacheDirectory
+{
+  public:
+    /**
+     * @param nodes    cluster size
+     * @param self     the owning node's id
+     * @param shards   shard count S
+     * @param hot_cap  hot-set capacity in entries (0 = no hot-set)
+     */
+    ShardedCacheDirectory(int nodes, int self, int shards,
+                          std::uint32_t hot_cap);
+
+    /** The shard of @p file (splitmix64 of the id, mod S). */
+    static int shardOf(storage::FileId file, int shards);
+
+    /** The node owning @p file's shard. */
+    int ownerOf(storage::FileId file) const;
+
+    /** True when this node owns @p file's shard. */
+    bool owns(storage::FileId file) const { return ownerOf(file) == _self; }
+
+    /** Apply a caching update at the shard owner (asserts owns()). */
+    void update(int node, storage::FileId file, bool cached);
+
+    /** What the local node knows about @p file's caching set. */
+    enum class Answer {
+        Owner,   ///< authoritative: this node owns the shard
+        Hot,     ///< best-effort: from the hot-set (possibly stale)
+        Unknown, ///< nothing local: ask the shard owner
+    };
+
+    /** Resolve @p file locally; fills @p out (empty mask on Owner
+     *  answers for uncached files). */
+    Answer lookup(storage::FileId file, NodeMask &out) const;
+
+    /**
+     * Learn "node @p node caches @p file" (or not) from a passing
+     * message — file arrivals, owner replies. Owned files go to the
+     * authoritative map; others into the LRU hot-set (evicting the
+     * oldest entry beyond capacity). cached == false clears the bit
+     * and drops empty entries.
+     */
+    void hotLearn(storage::FileId file, int node, bool cached);
+
+    /** Authoritative entries this node holds (its shard load). */
+    std::size_t ownedFiles() const { return _owned.size(); }
+
+    /** Hot-set entries currently held. */
+    std::size_t hotFiles() const { return _hot.size(); }
+
+    /** Total directory entries (the memory-footprint metric the
+     *  scalability bench reports against replicated knownFiles()). */
+    std::size_t entries() const { return _owned.size() + _hot.size(); }
+
+    int shards() const { return _shards; }
+
+  private:
+    struct HotEntry {
+        NodeMask mask;
+        std::list<storage::FileId>::iterator lru;
+    };
+
+    void touchHot(storage::FileId file, HotEntry &e);
+    void evictHotOverflow();
+
+    int _nodes;
+    int _self;
+    int _shards;
+    std::uint32_t _hotCap;
+    std::unordered_map<storage::FileId, NodeMask> _owned;
+    std::unordered_map<storage::FileId, HotEntry> _hot;
+    std::list<storage::FileId> _hotLru; ///< front = most recent
 };
 
 } // namespace press::core

@@ -1,0 +1,254 @@
+#include "dissemination.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace press::core {
+
+DisseminationEngine::DisseminationEngine(const Params &p) : _p(p)
+{
+    PRESS_ASSERT(p.nodes > 0, "empty cluster");
+    PRESS_ASSERT(p.self >= 0 && p.self < p.nodes, "bad self id");
+    PRESS_ASSERT(p.fanout >= 1, "fanout must be >= 1");
+    PRESS_ASSERT(p.repeats >= 1, "repeats must be >= 1");
+    _loadMaxSeen.assign(static_cast<std::size_t>(p.nodes), 0);
+    _cachingSeen.assign(static_cast<std::size_t>(p.nodes), SeqWindow{});
+    _loadSlots.assign(static_cast<std::size_t>(p.nodes), Slot{});
+}
+
+std::uint64_t
+DisseminationEngine::mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+void
+DisseminationEngine::samplePeers(std::uint64_t seed, std::uint64_t round,
+                                 int self, int nodes, int fanout,
+                                 std::vector<int> &out)
+{
+    out.clear();
+    if (nodes <= 1)
+        return;
+    int want = fanout < nodes - 1 ? fanout : nodes - 1;
+    // Hash chain on (seed, round, self): deterministic, stateless, and
+    // different per node and per round. Rejection keeps peers distinct;
+    // the chain cannot stall because want <= nodes - 1.
+    std::uint64_t x =
+        mix64(seed ^ mix64(round ^ mix64(static_cast<std::uint64_t>(
+                               self + 0x51ed2701))));
+    while (static_cast<int>(out.size()) < want) {
+        x = mix64(x);
+        int cand = static_cast<int>(x % static_cast<std::uint64_t>(nodes));
+        if (cand == self)
+            continue;
+        bool dup = false;
+        for (int p : out)
+            if (p == cand) {
+                dup = true;
+                break;
+            }
+        if (!dup)
+            out.push_back(cand);
+    }
+}
+
+void
+DisseminationEngine::treeChildren(int self, int root, int fanout,
+                                  int nodes, std::vector<int> &out)
+{
+    out.clear();
+    PRESS_ASSERT(self >= 0 && self < nodes && root >= 0 && root < nodes,
+                 "bad tree node/root id");
+    long pos = (self - root + nodes) % nodes;
+    for (int c = 1; c <= fanout; ++c) {
+        long child = static_cast<long>(fanout) * pos + c;
+        if (child >= nodes)
+            break;
+        out.push_back(static_cast<int>((root + child) % nodes));
+    }
+}
+
+int
+DisseminationEngine::treeDepth(int nodes, int fanout)
+{
+    // Depth of the deepest heap position (nodes - 1).
+    int depth = 0;
+    long pos = nodes - 1;
+    while (pos > 0) {
+        pos = (pos - 1) / fanout;
+        ++depth;
+    }
+    return depth;
+}
+
+int
+DisseminationEngine::gossipTtl(int nodes, int fanout)
+{
+    // ceil(log_fanout nodes) + slack. Fanout 1 degenerates to a ring
+    // walk; give it a linear budget.
+    if (fanout <= 1)
+        return nodes + 2;
+    int levels = 0;
+    long cover = 1;
+    while (cover < nodes) {
+        cover *= fanout;
+        ++levels;
+    }
+    return levels + 4;
+}
+
+bool
+DisseminationEngine::loadDirty(int current) const
+{
+    if (!_announcedOnce)
+        return true;
+    return std::abs(current - _lastAnnouncedLoad) >= _p.threshold;
+}
+
+Rumor
+DisseminationEngine::makeOwnLoad(int current, int hops)
+{
+    _lastAnnouncedLoad = current;
+    _announcedOnce = true;
+    Rumor r;
+    r.isLoad = true;
+    r.origin = _p.self;
+    r.seq = ++_loadSeq;
+    r.load = current;
+    r.hops = hops;
+    return r;
+}
+
+Rumor
+DisseminationEngine::makeOwnCaching(storage::FileId file, bool cached,
+                                    int hops)
+{
+    Rumor r;
+    r.isLoad = false;
+    r.origin = _p.self;
+    r.seq = ++_cachingSeq;
+    r.file = file;
+    r.cached = cached;
+    r.hops = hops;
+    return r;
+}
+
+bool
+DisseminationEngine::SeqWindow::accept(std::uint32_t seq)
+{
+    if (seq > maxSeq) {
+        std::uint32_t shift = seq - maxSeq;
+        recent = shift >= 64 ? 0 : (recent << shift) | (1ULL << (shift - 1));
+        maxSeq = seq;
+        return true;
+    }
+    std::uint32_t behind = maxSeq - seq;
+    if (behind == 0)
+        return false; // maxSeq itself: already seen
+    if (behind > 64)
+        return false; // older than the window: drop as a duplicate
+    std::uint64_t bit = 1ULL << (behind - 1);
+    if (recent & bit)
+        return false;
+    recent |= bit;
+    return true;
+}
+
+bool
+DisseminationEngine::accept(const Rumor &r)
+{
+    PRESS_ASSERT(r.origin >= 0 && r.origin < _p.nodes,
+                 "rumor with bad origin ", r.origin);
+    if (r.origin == _p.self)
+        return false; // own rumor echoed back: nothing to learn
+    auto o = static_cast<std::size_t>(r.origin);
+    if (r.isLoad) {
+        // Latest-value semantics: only strictly newer reports apply.
+        if (r.seq <= _loadMaxSeen[o])
+            return false;
+        _loadMaxSeen[o] = r.seq;
+        return true;
+    }
+    return _cachingSeen[o].accept(r.seq);
+}
+
+void
+DisseminationEngine::enqueueRelay(const Rumor &r)
+{
+    if (r.hops <= 0)
+        return;
+    Rumor relay = r;
+    relay.hops = r.hops - 1;
+    if (relay.isLoad) {
+        auto o = static_cast<std::size_t>(relay.origin);
+        Slot &slot = _loadSlots[o];
+        // A newer report for the same origin supersedes a queued one.
+        if (slot.sendsLeft > 0 && slot.rumor.seq >= relay.seq)
+            return;
+        slot = Slot{relay, _p.repeats};
+        return;
+    }
+    _cachingQueue.push_back(Slot{relay, _p.repeats});
+}
+
+void
+DisseminationEngine::noteDuplicate(const Rumor &r)
+{
+    if (r.hops <= 0 || r.origin == _p.self)
+        return;
+    int hops = r.hops - 1;
+    if (r.isLoad) {
+        Slot &slot = _loadSlots[static_cast<std::size_t>(r.origin)];
+        if (slot.sendsLeft > 0 && slot.rumor.seq == r.seq &&
+            slot.rumor.hops < hops)
+            slot.rumor.hops = hops;
+        return;
+    }
+    for (Slot &slot : _cachingQueue)
+        if (slot.rumor.origin == r.origin && slot.rumor.seq == r.seq) {
+            if (slot.rumor.hops < hops)
+                slot.rumor.hops = hops;
+            return;
+        }
+}
+
+void
+DisseminationEngine::sortCachingQueue()
+{
+    // (origin, seq) is unique per rumor, so the order is total and the
+    // sort need not be stable.
+    std::sort(_cachingQueue.begin(), _cachingQueue.end(),
+              [](const Slot &a, const Slot &b) {
+                  if (a.rumor.seq != b.rumor.seq)
+                      return a.rumor.seq < b.rumor.seq;
+                  return a.rumor.origin < b.rumor.origin;
+              });
+}
+
+void
+DisseminationEngine::queueOwnCaching(storage::FileId file, bool cached)
+{
+    Rumor r = makeOwnCaching(file, cached, gossipTtl(_p.nodes, _p.fanout));
+    _cachingQueue.push_back(Slot{r, _p.repeats});
+}
+
+bool
+DisseminationEngine::hasWork(int current_load) const
+{
+    if (loadDirty(current_load))
+        return true;
+    if (!_cachingQueue.empty())
+        return true;
+    for (const Slot &s : _loadSlots)
+        if (s.sendsLeft > 0)
+            return true;
+    return false;
+}
+
+} // namespace press::core

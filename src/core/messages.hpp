@@ -9,6 +9,7 @@
 #define PRESS_CORE_MESSAGES_HPP
 
 #include <cstdint>
+#include <vector>
 
 #include "net/payload.hpp"
 #include "storage/file_set.hpp"
@@ -27,9 +28,20 @@ enum class MsgKind : int {
 
 const char *msgKindName(MsgKind kind);
 
-/** Explicit load broadcast. */
+/**
+ * Explicit load report. origin == -1 is the paper's broadcast (the
+ * value describes the sender); origin >= 0 marks a gossip/tree
+ * dissemination rumor about node `origin` with sequence `seq` —
+ * `hops` is the remaining gossip relay budget (or the tree hop count,
+ * diagnostics only). The extra header is charged on the wire as
+ * MessageSizes::disseminationHeader only when origin >= 0, so the
+ * paper's configurations keep their Table-2 sizes.
+ */
 struct LoadMsg {
     int load = 0;
+    int origin = -1;
+    std::uint32_t seq = 0;
+    int hops = 0;
 };
 
 /** Which flow-controlled channel a credit refers to. */
@@ -47,16 +59,55 @@ struct FlowMsg {
     FlowChannel channel = FlowChannel::Regular;
 };
 
-/** Request forwarding: "service this file for me". */
+/** How a ForwardMsg should be processed (sharded directories). */
+enum class ForwardRoute : std::uint8_t {
+    Serve,  ///< serve the file and send it to the requester (classic)
+    Lookup, ///< shard owner: resolve the caching set, route the request
+    Home,   ///< owner's verdict: the initial node should serve itself
+};
+
+/**
+ * Request forwarding: "service this file for me". origin == -1 is the
+ * classic two-party forward (the sender is the initial node);
+ * origin >= 0 names the initial node when the request travelled via a
+ * shard owner (Lookup -> Serve), so the file goes straight back to it.
+ */
 struct ForwardMsg {
     storage::FileId file = storage::InvalidFile;
     std::uint32_t tag = 0; ///< initial node's request tag
+    int origin = -1;
+    ForwardRoute route = ForwardRoute::Serve;
 };
 
-/** Caching information: a file entered or left a node's cache. */
+/** Caching information: a file entered or left a node's cache.
+ *  origin/seq/hops as in LoadMsg (gossip/tree rumors); origin == -1
+ *  is the paper's broadcast or a sharded-directory owner update (the
+ *  change describes the sender). */
 struct CachingMsg {
     storage::FileId file = storage::InvalidFile;
     bool cached = false; ///< true = now cached, false = evicted
+    int origin = -1;
+    std::uint32_t seq = 0;
+    int hops = 0;
+};
+
+/**
+ * Gossip digest: one round's load rumors for one peer, packed into a
+ * single message. Unpacked, a round costs batch * fanout messages;
+ * the digest collapses that to at most one Load plus one Caching
+ * message per peer, taking the per-message user-level cost (doorbell,
+ * descriptor, credit, receive dispatch) from O(batch) to O(1) per
+ * peer. Charged on the wire as the sum of the packed rumors' sizes,
+ * so the byte accounting matches the unpacked encoding and only the
+ * message count drops.
+ */
+struct LoadDigestMsg {
+    std::vector<LoadMsg> rumors; ///< every entry has origin >= 0
+};
+
+/** Caching-information digest; see LoadDigestMsg. */
+struct CachingDigestMsg {
+    std::vector<CachingMsg> rumors; ///< every entry has origin >= 0
 };
 
 /** File transfer: the reply to a ForwardMsg. */

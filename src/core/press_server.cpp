@@ -31,6 +31,43 @@ PressServer::PressServer(sim::Simulator &sim, const PressConfig &config,
     _comm.setHandler([this](const Incoming &in) { onMessage(in); });
     if (_config.dissemination.kind == Dissemination::Kind::PiggyBack)
         _comm.setLoadProvider([this]() { return load(); });
+
+    using Kind = Dissemination::Kind;
+    Kind kind = _config.dissemination.kind;
+    bool lc = _config.distribution == Distribution::LocalityConscious;
+
+    if (lc && _config.directoryMode == DirectoryMode::Sharded)
+        _shardDir = std::make_unique<ShardedCacheDirectory>(
+            config.nodes, id, config.dirShards, config.dirHotSet);
+
+    // Gossip/tree need an engine; a single-node cluster has nobody to
+    // tell, so both degenerate to Off (no rounds, no waves).
+    if (lc && config.nodes > 1 &&
+        (kind == Kind::Gossip || kind == Kind::Tree)) {
+        DisseminationEngine::Params p;
+        p.nodes = config.nodes;
+        p.self = id;
+        p.fanout = _config.dissemination.fanout;
+        p.threshold = _config.dissemination.threshold;
+        p.repeats = _config.dissemination.gossipRepeats;
+        p.seed = config.seed; // cluster-wide; samples mix in (round, self)
+        _dissem = std::make_unique<DisseminationEngine>(p);
+        _treeScratch.reserve(
+            static_cast<std::size_t>(_config.dissemination.fanout));
+    }
+
+    if (!lc || kind == Kind::None) {
+        _loadPath = LoadPath::Off;
+    } else if (kind == Kind::PiggyBack) {
+        _loadPath = LoadPath::PiggyBack;
+    } else if (kind == Kind::Broadcast) {
+        _loadPath = LoadPath::Broadcast;
+    } else if (_dissem) {
+        _loadPath =
+            kind == Kind::Gossip ? LoadPath::Gossip : LoadPath::Tree;
+    } else {
+        _loadPath = LoadPath::Off; // gossip/tree on one node
+    }
 }
 
 void
@@ -111,6 +148,13 @@ PressServer::dispatch(FileId file, std::uint32_t tag)
         serveLocal(file, tag, false);
         return;
     }
+    // Sharded directory: rules 3/4 run against the owned shard, the
+    // hot set, or the shard owner (one extra short message).
+    if (_shardDir) {
+        dispatchSharded(file, tag);
+        return;
+    }
+
     // Rule 3: first access anywhere -> local (brings it into the
     // cluster cache).
     if (!_cacheDir.anyoneCaches(file)) {
@@ -161,6 +205,146 @@ PressServer::dispatch(FileId file, std::uint32_t tag)
         decided(obs::DispatchDecision::OverloadLocal);
         serveLocal(file, tag, true);
     }
+}
+
+void
+PressServer::dispatchSharded(FileId file, std::uint32_t tag)
+{
+    auto decided = [this, tag](obs::DispatchDecision d) {
+        PRESS_TRACE_INSTANT(_tracer, _id, obs::Ev::ReqDispatch,
+                            obs::requestId(_id, tag),
+                            static_cast<std::uint64_t>(d));
+    };
+
+    NodeMask mask;
+    auto answer = _shardDir->lookup(file, mask);
+
+    if (answer == ShardedCacheDirectory::Answer::Unknown) {
+        // Not our shard and not hot: ask the owner to route the
+        // request (rule 3/4 run there). One extra short message on the
+        // miss path buys O(F/S) directory state per node.
+        int owner = _shardDir->ownerOf(file);
+        PRESS_ASSERT(owner != _id, "owned file reported Unknown");
+        ++_stats.dirLookupsOut;
+        ++_stats.forwardedOut;
+        decided(obs::DispatchDecision::DirLookup);
+        PRESS_TRACE_ASYNC_BEGIN(_tracer, _id, obs::Ev::ReqForward,
+                                obs::requestId(_id, tag), file);
+        if (_forwardsMetric)
+            _forwardsMetric->add();
+        _comm.sendForward(
+            owner, ForwardMsg{file, tag, _id, ForwardRoute::Lookup});
+        return;
+    }
+
+    // Rule 3: authoritative (or hot) answer says nobody caches it.
+    if (mask.none()) {
+        decided(obs::DispatchDecision::FirstTouch);
+        serveLocal(file, tag, false);
+        return;
+    }
+
+    // Rule 4 against the local answer; identical to the replicated
+    // logic. A stale hot entry only costs a disk read at the service
+    // node (its handleForward falls back to disk and re-replicates).
+    int candidate;
+    if (_config.dissemination.kind == Dissemination::Kind::None) {
+        candidate = randomIn(mask, _rng, _config.nodes);
+    } else {
+        candidate = leastLoadedIn(mask, _loadDir, _config.nodes);
+    }
+    PRESS_ASSERT(candidate >= 0, "non-empty mask without candidate");
+    if (candidate == _id) {
+        decided(obs::DispatchDecision::SelfBest);
+        serveLocal(file, tag, false);
+        return;
+    }
+
+    bool forward = true;
+    if (_config.dissemination.kind != Dissemination::Kind::None) {
+        int t = _config.overloadThreshold;
+        if (_loadDir.load(candidate) > t) {
+            int least = _loadDir.leastLoaded();
+            forward = load() > t && _loadDir.load(least) > t;
+        }
+    }
+
+    if (forward) {
+        ++_stats.forwardedOut;
+        decided(obs::DispatchDecision::Forward);
+        PRESS_TRACE_ASYNC_BEGIN(_tracer, _id, obs::Ev::ReqForward,
+                                obs::requestId(_id, tag), file);
+        if (_forwardsMetric)
+            _forwardsMetric->add();
+        _comm.sendForward(
+            candidate, ForwardMsg{file, tag, _id, ForwardRoute::Serve});
+    } else {
+        ++_stats.overloadLocalServes;
+        decided(obs::DispatchDecision::OverloadLocal);
+        serveLocal(file, tag, true);
+    }
+}
+
+void
+PressServer::handleDirLookup(int from, const ForwardMsg &msg)
+{
+    ++_stats.dirLookupsIn;
+    FileId file = msg.file;
+    std::uint32_t tag = msg.tag;
+    int origin = msg.origin >= 0 ? msg.origin : from;
+
+    // Probe the owned shard and route; charged as one directory lookup.
+    _node.cpu().submit(
+        _cal.service.dirLookup, CatService, [this, file, tag, origin]() {
+            NodeMask mask;
+            auto answer = _shardDir->lookup(file, mask);
+            PRESS_ASSERT(answer == ShardedCacheDirectory::Answer::Owner,
+                         "lookup routed to non-owner for file ", file);
+
+            auto send_home = [&]() {
+                _comm.sendForward(
+                    origin,
+                    ForwardMsg{file, tag, origin, ForwardRoute::Home});
+            };
+
+            // Candidate pick excludes the initial node: if it were the
+            // best caching node its rule 2 would have kept the request,
+            // so its directory bit is stale and it serves from disk at
+            // home just the same.
+            int candidate;
+            if (_config.dissemination.kind == Dissemination::Kind::None)
+                candidate = randomIn(mask, _rng, _config.nodes, origin);
+            else
+                candidate =
+                    leastLoadedIn(mask, _loadDir, _config.nodes, origin);
+            if (candidate < 0) {
+                // Nobody (else) caches it: first touch at the initial
+                // node, exactly the paper's rule 3.
+                send_home();
+                return;
+            }
+            if (candidate == _id) {
+                // The owner itself is the service node: no third hop.
+                serviceRemote(origin, file, tag);
+                return;
+            }
+
+            bool forward = true;
+            if (_config.dissemination.kind != Dissemination::Kind::None) {
+                int t = _config.overloadThreshold;
+                if (_loadDir.load(candidate) > t) {
+                    int least = _loadDir.leastLoaded();
+                    forward = _loadDir.load(origin) > t &&
+                              _loadDir.load(least) > t;
+                }
+            }
+            if (forward)
+                _comm.sendForward(
+                    candidate,
+                    ForwardMsg{file, tag, origin, ForwardRoute::Serve});
+            else
+                send_home(); // initial node serves and replicates
+        });
 }
 
 void
@@ -244,21 +428,57 @@ PressServer::onMessage(const Incoming &in)
 
     switch (in.kind) {
       case MsgKind::Load: {
+        if (const auto *digest = bodyAs<LoadDigestMsg>(in)) {
+            for (const LoadMsg &r : digest->rumors)
+                handleLoadRumor(r);
+            break;
+        }
         const auto *msg = bodyAs<LoadMsg>(in);
         PRESS_ASSERT(msg, "Load message without body");
-        _loadDir.update(in.from, msg->load);
+        if (msg->origin < 0)
+            _loadDir.update(in.from, msg->load);
+        else
+            handleLoadRumor(*msg);
         break;
       }
       case MsgKind::Caching: {
+        if (const auto *digest = bodyAs<CachingDigestMsg>(in)) {
+            for (const CachingMsg &r : digest->rumors)
+                handleCachingRumor(r);
+            break;
+        }
         const auto *msg = bodyAs<CachingMsg>(in);
         PRESS_ASSERT(msg, "Caching message without body");
-        _cacheDir.update(in.from, msg->file, msg->cached);
+        if (msg->origin >= 0) {
+            handleCachingRumor(*msg);
+        } else if (_shardDir) {
+            // Unicast owner update in sharded mode.
+            _shardDir->update(in.from, msg->file, msg->cached);
+        } else {
+            _cacheDir.update(in.from, msg->file, msg->cached);
+        }
         break;
       }
       case MsgKind::Forward: {
         const auto *msg = bodyAs<ForwardMsg>(in);
         PRESS_ASSERT(msg, "Forward message without body");
-        handleForward(in.from, *msg);
+        switch (msg->route) {
+          case ForwardRoute::Serve:
+            handleForward(in.from, *msg);
+            break;
+          case ForwardRoute::Lookup:
+            handleDirLookup(in.from, *msg);
+            break;
+          case ForwardRoute::Home:
+            // The shard owner bounced the request home: serve it here
+            // (first touch or overload replication).
+            ++_stats.dirHomeReturns;
+            PRESS_TRACE_ASYNC_END(_tracer, _id, obs::Ev::ReqForward,
+                                  obs::requestId(_id, msg->tag),
+                                  msg->file);
+            serveLocal(msg->file, msg->tag, false);
+            break;
+        }
         break;
       }
       case MsgKind::File: {
@@ -277,24 +497,31 @@ PressServer::onMessage(const Incoming &in)
 void
 PressServer::handleForward(int from, const ForwardMsg &msg)
 {
+    // origin >= 0 names the initial node when the request came via a
+    // shard owner; the classic two-party forward has origin == -1 and
+    // the sender *is* the initial node.
+    serviceRemote(msg.origin >= 0 ? msg.origin : from, msg.file, msg.tag);
+}
+
+void
+PressServer::serviceRemote(int home, FileId file, std::uint32_t tag)
+{
     ++_stats.forwardedIn;
     ++_servicingRemote;
     loadChanged();
 
-    FileId file = msg.file;
     std::uint32_t size = _files.size(file);
-    std::uint32_t tag = msg.tag;
 
     // The forwarded request keeps its cluster-wide id: derived from the
-    // *initial* node (the sender) and its tag, so this span joins the
-    // originating ReqLife/ReqForward spans in the exported trace.
+    // *initial* node and its tag, so this span joins the originating
+    // ReqLife/ReqForward spans in the exported trace.
     PRESS_TRACE_ASYNC_BEGIN(_tracer, _id, obs::Ev::ReqService,
-                            obs::requestId(from, tag), file);
+                            obs::requestId(home, tag), file);
 
-    auto send_back = [this, from, file, size, tag]() {
+    auto send_back = [this, home, file, size, tag]() {
         PRESS_TRACE_ASYNC_END(_tracer, _id, obs::Ev::ReqService,
-                              obs::requestId(from, tag), file);
-        _comm.sendFile(from, FileMsg{file, tag, size});
+                              obs::requestId(home, tag), file);
+        _comm.sendFile(home, FileMsg{file, tag, size});
         --_servicingRemote;
         loadChanged();
     };
@@ -324,6 +551,8 @@ PressServer::handleFileArrival(int from, const FileMsg &msg)
     // (it deliberately does not cache the file).
     PRESS_TRACE_ASYNC_END(_tracer, _id, obs::Ev::ReqForward,
                           obs::requestId(_id, msg.tag), msg.file);
+    if (_shardDir)
+        _shardDir->hotLearn(msg.file, from, true); // sender serves it
     reply(msg.tag, msg.bytes, /*buffer_owner=*/from);
 }
 
@@ -344,8 +573,27 @@ PressServer::insertIntoCache(FileId file)
     if (reg > 0)
         _node.cpu().submit(reg, CatIntraComm);
 
-    // Update the local view and broadcast caching information (only
-    // the locality-conscious server has anyone listening).
+    if (_shardDir) {
+        // Sharded: each change is a unicast to the file's shard owner
+        // (or a local update when this node owns the shard). O(1)
+        // messages per change instead of N-1.
+        auto shard_update = [this](FileId f, bool cached) {
+            if (_shardDir->owns(f))
+                _shardDir->update(_id, f, cached);
+            else
+                _comm.sendCaching(_shardDir->ownerOf(f),
+                                  CachingMsg{f, cached});
+        };
+        shard_update(file, true);
+        for (const auto &ev : evicted) {
+            ++_stats.cacheEvictions;
+            shard_update(ev.file, false);
+        }
+        return;
+    }
+
+    // Replicated: update the local view and disseminate the change
+    // (only the locality-conscious server has anyone listening).
     _cacheDir.update(_id, file, true);
     for (const auto &ev : evicted) {
         ++_stats.cacheEvictions;
@@ -353,6 +601,23 @@ PressServer::insertIntoCache(FileId file)
     }
     if (_config.distribution != Distribution::LocalityConscious)
         return;
+
+    if (_dissem && _config.dissemination.kind == Dissemination::Kind::Gossip) {
+        // Queue own caching rumors; rounds drain them to fanout-k peer
+        // samples instead of all N-1 nodes.
+        _dissem->queueOwnCaching(file, true);
+        for (const auto &ev : evicted)
+            _dissem->queueOwnCaching(ev.file, false);
+        scheduleGossipRound();
+        return;
+    }
+    if (_dissem && _config.dissemination.kind == Dissemination::Kind::Tree) {
+        emitCachingWave(file, true);
+        for (const auto &ev : evicted)
+            emitCachingWave(ev.file, false);
+        return;
+    }
+
     for (int j = 0; j < _config.nodes; ++j) {
         if (j == _id)
             continue;
@@ -365,22 +630,235 @@ PressServer::insertIntoCache(FileId file)
 void
 PressServer::loadChanged()
 {
+    // LoadPath::Off covers every configuration in which nobody reads
+    // the load directory (non-locality-conscious distributions and
+    // Kind::None), so the per-request hot path is a single branch.
+    if (_loadPath == LoadPath::Off)
+        return;
+
     int current = load();
     _loadDir.setSelf(current);
 
-    if (_config.distribution != Distribution::LocalityConscious)
-        return; // nobody consumes load reports in the other modes
-    if (_config.dissemination.kind != Dissemination::Kind::Broadcast)
+    switch (_loadPath) {
+      case LoadPath::PiggyBack:
+        return; // rides on outgoing messages via the load provider
+      case LoadPath::Broadcast: {
+        if (std::abs(current - _lastBroadcastLoad) <
+            _config.dissemination.threshold)
+            return;
+        _lastBroadcastLoad = current;
+        for (int j = 0; j < _config.nodes; ++j) {
+            if (j == _id)
+                continue;
+            _comm.sendLoad(j, LoadMsg{current});
+        }
         return;
-    if (std::abs(current - _lastBroadcastLoad) <
-        _config.dissemination.threshold)
+      }
+      case LoadPath::Gossip:
+        // A dirty load makes the next round worth running; the round
+        // itself stamps and pushes the rumor (temporal coalescing: at
+        // most one announcement per interval however fast load moves).
+        if (_dissem->loadDirty(current))
+            scheduleGossipRound();
         return;
-    _lastBroadcastLoad = current;
-    for (int j = 0; j < _config.nodes; ++j) {
-        if (j == _id)
-            continue;
-        _comm.sendLoad(j, LoadMsg{current});
+      case LoadPath::Tree:
+        maybeEmitLoadWave();
+        return;
+      case LoadPath::Off:
+        return;
     }
+}
+
+// ---------------------------------------------------------------------
+// Gossip/tree dissemination
+// ---------------------------------------------------------------------
+
+void
+PressServer::sendRumor(int dst, const Rumor &rumor)
+{
+    if (rumor.isLoad)
+        _comm.sendLoad(
+            dst, LoadMsg{rumor.load, rumor.origin, rumor.seq, rumor.hops});
+    else
+        _comm.sendCaching(dst, CachingMsg{rumor.file, rumor.cached,
+                                          rumor.origin, rumor.seq,
+                                          rumor.hops});
+}
+
+void
+PressServer::handleLoadRumor(const LoadMsg &msg)
+{
+    PRESS_ASSERT(_dissem, "load rumor without a dissemination engine");
+    Rumor r;
+    r.isLoad = true;
+    r.origin = msg.origin;
+    r.seq = msg.seq;
+    r.load = msg.load;
+    r.hops = msg.hops;
+    if (!_dissem->accept(r)) {
+        // A rejected copy may still widen the queued relay's hop
+        // budget (same-tick delivery order is not guaranteed).
+        if (_config.dissemination.kind == Dissemination::Kind::Gossip)
+            _dissem->noteDuplicate(r);
+        return;
+    }
+    _loadDir.update(r.origin, r.load);
+    if (_config.dissemination.kind == Dissemination::Kind::Gossip) {
+        _dissem->enqueueRelay(r);
+        scheduleGossipRound();
+    } else {
+        relayTreeRumor(r);
+    }
+}
+
+void
+PressServer::handleCachingRumor(const CachingMsg &msg)
+{
+    PRESS_ASSERT(_dissem, "caching rumor without a dissemination engine");
+    PRESS_ASSERT(!_shardDir, "caching rumors are replicated-mode only");
+    Rumor r;
+    r.isLoad = false;
+    r.origin = msg.origin;
+    r.seq = msg.seq;
+    r.file = msg.file;
+    r.cached = msg.cached;
+    r.hops = msg.hops;
+    if (!_dissem->accept(r)) {
+        if (_config.dissemination.kind == Dissemination::Kind::Gossip)
+            _dissem->noteDuplicate(r);
+        return;
+    }
+    _cacheDir.update(r.origin, r.file, r.cached);
+    if (_config.dissemination.kind == Dissemination::Kind::Gossip) {
+        _dissem->enqueueRelay(r);
+        scheduleGossipRound();
+    } else {
+        relayTreeRumor(r);
+    }
+}
+
+void
+PressServer::relayTreeRumor(const Rumor &rumor)
+{
+    DisseminationEngine::treeChildren(_id, rumor.origin,
+                                      _config.dissemination.fanout,
+                                      _config.nodes, _treeScratch);
+    if (_treeScratch.empty())
+        return;
+    Rumor fwd = rumor;
+    fwd.hops = rumor.hops + 1;
+    for (int child : _treeScratch)
+        sendRumor(child, fwd);
+}
+
+void
+PressServer::scheduleGossipRound()
+{
+    if (_roundScheduled)
+        return;
+    _roundScheduled = true;
+    // De-phase rounds across nodes: rumor waves would otherwise arm
+    // whole peer groups on the same cadence, and the quantized cost
+    // model then lands independent chains' deliveries on identical
+    // ticks at a shared destination — a genuine tick race (delivery
+    // order would decide trace/credit interleaving). The jitter is a
+    // pure function of (seed, self, next round) — no RNG state — so
+    // runs stay bit-identical for any thread count.
+    sim::Tick base = _config.dissemination.interval;
+    std::uint64_t h = DisseminationEngine::mix64(
+        _config.seed ^ (static_cast<std::uint64_t>(_id) << 40) ^
+        (_dissem->round() + 1));
+    sim::Tick jitter = static_cast<sim::Tick>(h % (base / 4 + 1));
+    _sim.schedule(base + jitter, [this]() { runGossipRound(); });
+}
+
+PressServer::PeerDigest &
+PressServer::digestFor(int peer)
+{
+    for (std::size_t i = 0; i < _digestsUsed; ++i)
+        if (_digestScratch[i].peer == peer)
+            return _digestScratch[i];
+    if (_digestsUsed == _digestScratch.size())
+        _digestScratch.emplace_back();
+    PeerDigest &d = _digestScratch[_digestsUsed++];
+    d.peer = peer;
+    d.load.rumors.clear();
+    d.caching.rumors.clear();
+    return d;
+}
+
+void
+PressServer::runGossipRound()
+{
+    _roundScheduled = false;
+    ++_stats.gossipRounds;
+    // Pack the round's rumors into per-peer digests: at most one Load
+    // plus one Caching message per sampled peer, instead of one
+    // message per (rumor, peer) pair. gossipRumorSends still counts
+    // rumor-level pushes — the analytic quantity the table-2 bench
+    // cross-checks — while the wire carries O(fanout) messages per
+    // round however many rumors are due.
+    _digestsUsed = 0;
+    _dissem->runRound(load(), [this](int dst, const Rumor &rumor) {
+        ++_stats.gossipRumorSends;
+        PeerDigest &d = digestFor(dst);
+        if (rumor.isLoad)
+            d.load.rumors.push_back(
+                LoadMsg{rumor.load, rumor.origin, rumor.seq, rumor.hops});
+        else
+            d.caching.rumors.push_back(CachingMsg{rumor.file, rumor.cached,
+                                                  rumor.origin, rumor.seq,
+                                                  rumor.hops});
+    });
+    for (std::size_t i = 0; i < _digestsUsed; ++i) {
+        PeerDigest &d = _digestScratch[i];
+        if (!d.load.rumors.empty())
+            _comm.sendLoadDigest(d.peer, d.load);
+        if (!d.caching.rumors.empty())
+            _comm.sendCachingDigest(d.peer, d.caching);
+    }
+    // Re-arm only while rumors are pending: an idle cluster goes
+    // quiet and the simulation can drain.
+    if (_dissem->hasWork(load()))
+        scheduleGossipRound();
+}
+
+void
+PressServer::maybeEmitLoadWave()
+{
+    if (!_dissem->loadDirty(load()))
+        return;
+    sim::Tick now = _sim.now();
+    if (now >= _nextWaveAt) {
+        emitLoadWave(load());
+        return;
+    }
+    if (_waveScheduled)
+        return;
+    _waveScheduled = true;
+    _sim.schedule(_nextWaveAt - now, [this]() {
+        _waveScheduled = false;
+        int current = load();
+        if (_dissem->loadDirty(current))
+            emitLoadWave(current);
+    });
+}
+
+void
+PressServer::emitLoadWave(int current)
+{
+    ++_stats.loadWaves;
+    Rumor r = _dissem->makeOwnLoad(current, /*hops=*/0);
+    _nextWaveAt = _sim.now() + _config.dissemination.interval;
+    relayTreeRumor(r);
+}
+
+void
+PressServer::emitCachingWave(FileId file, bool cached)
+{
+    ++_stats.cachingWaves;
+    Rumor r = _dissem->makeOwnCaching(file, cached, /*hops=*/0);
+    relayTreeRumor(r);
 }
 
 } // namespace press::core

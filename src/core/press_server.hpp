@@ -21,11 +21,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 
 #include "core/comm.hpp"
 #include "core/config.hpp"
 #include "core/directories.hpp"
+#include "core/dissemination.hpp"
 #include "osnode/node.hpp"
 #include "stats/accumulator.hpp"
 #include "stats/histogram.hpp"
@@ -52,6 +54,17 @@ struct ServerStats {
     std::uint64_t cacheInsertions = 0;
     std::uint64_t cacheEvictions = 0;
     std::uint64_t largeFileServes = 0;
+
+    // Scalable dissemination (Dissemination::Kind::Gossip/Tree).
+    std::uint64_t gossipRounds = 0;     ///< gossip rounds executed
+    std::uint64_t gossipRumorSends = 0; ///< (rumor, peer) pushes
+    std::uint64_t loadWaves = 0;        ///< tree load waves originated
+    std::uint64_t cachingWaves = 0;     ///< tree caching waves originated
+
+    // Sharded cache directory (DirectoryMode::Sharded).
+    std::uint64_t dirLookupsOut = 0;   ///< requests routed via an owner
+    std::uint64_t dirLookupsIn = 0;    ///< lookups processed as owner
+    std::uint64_t dirHomeReturns = 0;  ///< lookups bounced home to serve
     stats::Accumulator latency;      ///< request latency, ns
     stats::LogHistogram latencyHist; ///< same samples, for percentiles
 
@@ -105,6 +118,26 @@ class PressServer
     const LoadDirectory &loadDirectory() const { return _loadDir; }
     int id() const { return _id; }
 
+    /** Sharded directory view (null in DirectoryMode::Replicated). */
+    const ShardedCacheDirectory *shardDirectory() const
+    {
+        return _shardDir.get();
+    }
+
+    /** Gossip/tree engine (null for the paper's dissemination kinds). */
+    const DisseminationEngine *dissemination() const
+    {
+        return _dissem.get();
+    }
+
+    /** Directory entries this node stores: replicated nodes track every
+     *  known (file, mask) pair, sharded nodes only their shard plus the
+     *  bounded hot set. The scalability benches compare these. */
+    std::size_t directoryEntries() const
+    {
+        return _shardDir ? _shardDir->entries() : _cacheDir.knownFiles();
+    }
+
     /** Attach the observability hub (null detaches). */
     void setTracer(obs::Tracer *tracer);
 
@@ -115,8 +148,21 @@ class PressServer
         sim::Tick start;
     };
 
+    /** How loadChanged() publishes this node's load; fixed at
+     *  construction so the hot path is one branch. Off covers
+     *  non-locality-conscious distributions, Kind::None, and
+     *  single-node clusters (nothing to tell anyone). */
+    enum class LoadPath { Off, PiggyBack, Broadcast, Gossip, Tree };
+
     /** Distribution decision for a parsed request. */
     void dispatch(storage::FileId file, std::uint32_t tag);
+
+    /** Rules 3/4 against the sharded cache directory: answer locally
+     *  from the owned shard or hot set, else route via the owner. */
+    void dispatchSharded(storage::FileId file, std::uint32_t tag);
+
+    /** Shard owner processes a ForwardRoute::Lookup. */
+    void handleDirLookup(int from, const ForwardMsg &msg);
 
     /** Service a request on this node (as initial node). */
     void serveLocal(storage::FileId file, std::uint32_t tag,
@@ -130,6 +176,25 @@ class PressServer
     void onMessage(const Incoming &incoming);
     void handleForward(int from, const ForwardMsg &msg);
     void handleFileArrival(int from, const FileMsg &msg);
+
+    /** Service a request forwarded by @p home (the initial node). */
+    void serviceRemote(int home, storage::FileId file, std::uint32_t tag);
+
+    // --- gossip/tree dissemination -----------------------------------
+    void sendRumor(int dst, const Rumor &rumor);
+    void handleLoadRumor(const LoadMsg &msg);
+    void handleCachingRumor(const CachingMsg &msg);
+    /** Forward an accepted rumor down this node's subtree of the k-ary
+     *  tree rooted at the rumor's origin. */
+    void relayTreeRumor(const Rumor &rumor);
+    /** Arm a gossip round `interval` from now (idempotent). */
+    void scheduleGossipRound();
+    void runGossipRound();
+    /** Tree: start a load wave now if dirty and the per-origin rate
+     *  limit allows, else arm one for when it does. */
+    void maybeEmitLoadWave();
+    void emitLoadWave(int current);
+    void emitCachingWave(storage::FileId file, bool cached);
 
     /** Insert @p file into the cache: bookkeeping, V5 registration,
      *  caching-information broadcasts. */
@@ -154,6 +219,24 @@ class PressServer
     storage::FileCache _cache;
     CacheDirectory _cacheDir;
     LoadDirectory _loadDir;
+    std::unique_ptr<ShardedCacheDirectory> _shardDir;
+    std::unique_ptr<DisseminationEngine> _dissem;
+    LoadPath _loadPath = LoadPath::Off;
+    bool _roundScheduled = false;   ///< gossip round armed
+    bool _waveScheduled = false;    ///< tree load wave armed
+    sim::Tick _nextWaveAt = 0;      ///< earliest next own load wave
+    std::vector<int> _treeScratch;  ///< child-id scratch (no per-send alloc)
+
+    /** One gossip round's outgoing digests, one slot per sampled peer
+     *  (reused across rounds; slots past _digestsUsed are idle). */
+    struct PeerDigest {
+        int peer = -1;
+        LoadDigestMsg load;
+        CachingDigestMsg caching;
+    };
+    std::vector<PeerDigest> _digestScratch;
+    std::size_t _digestsUsed = 0;
+    PeerDigest &digestFor(int peer);
 
     obs::Tracer *_tracer = nullptr;
     obs::Counter *_requestsMetric = nullptr;

@@ -44,7 +44,10 @@ TcpComm::connectMesh(std::vector<std::unique_ptr<TcpComm>> &comms,
 void
 TcpComm::sendLoad(int dst, const LoadMsg &msg)
 {
-    sendWire(dst, MsgKind::Load, _cal.sizes.load, msg);
+    std::uint64_t bytes = _cal.sizes.load;
+    if (msg.origin >= 0)
+        bytes += _cal.sizes.disseminationHeader;
+    sendWire(dst, MsgKind::Load, bytes, msg);
 }
 
 void
@@ -56,7 +59,29 @@ TcpComm::sendForward(int dst, const ForwardMsg &msg)
 void
 TcpComm::sendCaching(int dst, const CachingMsg &msg)
 {
-    sendWire(dst, MsgKind::Caching, _cal.sizes.caching, msg);
+    std::uint64_t bytes = _cal.sizes.caching;
+    if (msg.origin >= 0)
+        bytes += _cal.sizes.disseminationHeader;
+    sendWire(dst, MsgKind::Caching, bytes, msg);
+}
+
+void
+TcpComm::sendLoadDigest(int dst, const LoadDigestMsg &msg)
+{
+    PRESS_ASSERT(!msg.rumors.empty(), "empty load digest");
+    std::uint64_t bytes =
+        msg.rumors.size() * (_cal.sizes.load + _cal.sizes.disseminationHeader);
+    sendWire(dst, MsgKind::Load, bytes, msg);
+}
+
+void
+TcpComm::sendCachingDigest(int dst, const CachingDigestMsg &msg)
+{
+    PRESS_ASSERT(!msg.rumors.empty(), "empty caching digest");
+    std::uint64_t bytes =
+        msg.rumors.size() *
+        (_cal.sizes.caching + _cal.sizes.disseminationHeader);
+    sendWire(dst, MsgKind::Caching, bytes, msg);
 }
 
 void

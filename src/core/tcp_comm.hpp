@@ -49,6 +49,8 @@ class TcpComm : public ClusterComm
     void sendLoad(int dst, const LoadMsg &msg) override;
     void sendForward(int dst, const ForwardMsg &msg) override;
     void sendCaching(int dst, const CachingMsg &msg) override;
+    void sendLoadDigest(int dst, const LoadDigestMsg &msg) override;
+    void sendCachingDigest(int dst, const CachingDigestMsg &msg) override;
     void sendFile(int dst, const FileMsg &msg) override;
 
     const tcpnet::TcpStack &stack() const { return _stack; }

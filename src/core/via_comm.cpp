@@ -361,11 +361,37 @@ ViaComm::sendLoad(int dst, const LoadMsg &msg)
     w.piggyLoad = piggyLoad();
     w.body = msg;
     std::uint64_t bytes = _cal.sizes.load;
+    if (msg.origin >= 0)
+        bytes += _cal.sizes.disseminationHeader;
+    // Dissemination rumors are full messages (origin/seq/hops), never
+    // the single overwritable RMW load word — rumors about different
+    // origins must not clobber each other.
+    PRESS_ASSERT(msg.origin < 0 || !usesRmw(MsgKind::Load),
+                 "gossip/tree load rumors cannot use the RMW load word");
     if (usesRmw(MsgKind::Load))
         sendRmwWord(dst, MsgKind::Load, bytes, std::move(w));
     else
         sendRegular(dst, MsgKind::Load, bytes, std::move(w),
                     /*gated=*/true);
+}
+
+void
+ViaComm::sendLoadDigest(int dst, const LoadDigestMsg &msg)
+{
+    PRESS_ASSERT(!msg.rumors.empty(), "empty load digest");
+    PRESS_ASSERT(!usesRmw(MsgKind::Load),
+                 "gossip digests cannot use the RMW load word");
+    std::uint64_t bytes = 0;
+    for (const LoadMsg &r : msg.rumors) {
+        PRESS_ASSERT(r.origin >= 0, "digest of a non-rumor load");
+        bytes += _cal.sizes.load + _cal.sizes.disseminationHeader;
+    }
+    WireMsg w;
+    w.kind = MsgKind::Load;
+    w.from = _node;
+    w.piggyLoad = piggyLoad();
+    w.body = msg;
+    sendRegular(dst, MsgKind::Load, bytes, std::move(w), /*gated=*/true);
 }
 
 void
@@ -392,12 +418,35 @@ ViaComm::sendCaching(int dst, const CachingMsg &msg)
     w.from = _node;
     w.piggyLoad = piggyLoad();
     w.body = msg;
+    std::uint64_t bytes = _cal.sizes.caching;
+    if (msg.origin >= 0)
+        bytes += _cal.sizes.disseminationHeader;
     if (usesRmw(MsgKind::Caching))
-        sendRmwControl(dst, MsgKind::Caching, _cal.sizes.caching,
-                       std::move(w));
+        sendRmwControl(dst, MsgKind::Caching, bytes, std::move(w));
     else
-        sendRegular(dst, MsgKind::Caching, _cal.sizes.caching,
-                    std::move(w), /*gated=*/true);
+        sendRegular(dst, MsgKind::Caching, bytes, std::move(w),
+                    /*gated=*/true);
+}
+
+void
+ViaComm::sendCachingDigest(int dst, const CachingDigestMsg &msg)
+{
+    PRESS_ASSERT(!msg.rumors.empty(), "empty caching digest");
+    std::uint64_t bytes = 0;
+    for (const CachingMsg &r : msg.rumors) {
+        PRESS_ASSERT(r.origin >= 0, "digest of a non-rumor caching msg");
+        bytes += _cal.sizes.caching + _cal.sizes.disseminationHeader;
+    }
+    WireMsg w;
+    w.kind = MsgKind::Caching;
+    w.from = _node;
+    w.piggyLoad = piggyLoad();
+    w.body = msg;
+    if (usesRmw(MsgKind::Caching))
+        sendRmwControl(dst, MsgKind::Caching, bytes, std::move(w));
+    else
+        sendRegular(dst, MsgKind::Caching, bytes, std::move(w),
+                    /*gated=*/true);
 }
 
 void

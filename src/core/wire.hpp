@@ -19,7 +19,9 @@ struct WireMsg {
     MsgKind kind = MsgKind::NumKinds;
     int from = -1;
     int piggyLoad = -1;
-    std::variant<LoadMsg, FlowMsg, ForwardMsg, CachingMsg, FileMsg> body;
+    std::variant<LoadMsg, FlowMsg, ForwardMsg, CachingMsg, FileMsg,
+                 LoadDigestMsg, CachingDigestMsg>
+        body;
 };
 
 /** Build the Incoming view the server sees. @p wire_payload must hold

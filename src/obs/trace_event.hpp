@@ -74,6 +74,7 @@ enum class DispatchDecision : std::uint8_t {
     Forward,         ///< rule 4: sent to the least-loaded caching node
     OverloadLocal,   ///< candidate overloaded: serve locally, replicate
     Oblivious,       ///< non-locality-conscious mode: always local
+    DirLookup,       ///< sharded directory: routed via the shard owner
 };
 
 const char *dispatchDecisionName(DispatchDecision d);

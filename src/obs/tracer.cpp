@@ -82,6 +82,8 @@ dispatchDecisionName(DispatchDecision d)
         return "overload-local";
       case DispatchDecision::Oblivious:
         return "oblivious";
+      case DispatchDecision::DirLookup:
+        return "dir-lookup";
     }
     return "?";
 }

@@ -21,7 +21,10 @@
 #include <cerrno>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
+#include <string>
+#include <vector>
 
 #include "util/logging.hpp"
 
@@ -70,6 +73,30 @@ cliParseDouble(const char *text, const char *what)
     return v;
 }
 
+/** Parse @p text as a comma-separated list of integers, each validated
+ *  against [lo, hi] (e.g. "--nodes 8,64,256"). Empty items and an
+ *  empty list are errors. */
+inline std::vector<int>
+cliParseIntList(const char *text, const char *what, long long lo,
+                long long hi)
+{
+    std::vector<int> out;
+    const char *p = text;
+    while (true) {
+        const char *comma = std::strchr(p, ',');
+        std::string item =
+            comma ? std::string(p, comma) : std::string(p);
+        if (item.empty())
+            fatal(what, ": empty item in list '", text, "'");
+        out.push_back(
+            static_cast<int>(cliParseInt(item.c_str(), what, lo, hi)));
+        if (!comma)
+            break;
+        p = comma + 1;
+    }
+    return out;
+}
+
 /** The operand of option argv[i]: advances @p i and returns argv[i],
  *  or dies with "option X requires a value". */
 inline const char *
@@ -104,6 +131,14 @@ cliDouble(int argc, char **argv, int &i)
 {
     const char *opt = argv[i];
     return cliParseDouble(cliValue(argc, argv, i), opt);
+}
+
+/** Comma-separated integer-list operand of option argv[i]. */
+inline std::vector<int>
+cliIntList(int argc, char **argv, int &i, long long lo, long long hi)
+{
+    const char *opt = argv[i];
+    return cliParseIntList(cliValue(argc, argv, i), opt, lo, hi);
 }
 
 } // namespace press::util

@@ -1,6 +1,6 @@
 /**
  * @file
- * Tests for the locality and load directories.
+ * Tests for the locality and load directories (replicated and sharded).
  */
 
 #include <gtest/gtest.h>
@@ -9,7 +9,29 @@
 
 using press::core::CacheDirectory;
 using press::core::LoadDirectory;
+using press::core::NodeMask;
+using press::core::ShardedCacheDirectory;
 using press::util::Rng;
+
+TEST(NodeMask, SetTestClearAcrossWords)
+{
+    NodeMask m;
+    EXPECT_TRUE(m.none());
+    m.set(0);
+    m.set(63);
+    m.set(64);
+    m.set(255);
+    EXPECT_TRUE(m.test(0));
+    EXPECT_TRUE(m.test(63));
+    EXPECT_TRUE(m.test(64));
+    EXPECT_TRUE(m.test(255));
+    EXPECT_FALSE(m.test(1));
+    EXPECT_EQ(m.count(), 4);
+    m.clear(64);
+    EXPECT_FALSE(m.test(64));
+    EXPECT_EQ(m.count(), 3);
+    EXPECT_TRUE(m.any());
+}
 
 TEST(LoadDirectory, UpdatesAndReads)
 {
@@ -40,7 +62,7 @@ TEST(CacheDirectory, UpdateAndQuery)
     EXPECT_TRUE(d.caches(3, 42));
     EXPECT_FALSE(d.caches(2, 42));
     d.update(5, 42, true);
-    EXPECT_EQ(d.mask(42), (1u << 3) | (1u << 5));
+    EXPECT_EQ(d.mask(42).words(0), (1u << 3) | (1u << 5));
     d.update(3, 42, false);
     EXPECT_FALSE(d.caches(3, 42));
     EXPECT_TRUE(d.anyoneCaches(42));
@@ -86,5 +108,90 @@ TEST(CacheDirectory, RandomCachingCoversAllHolders)
 
 TEST(CacheDirectory, RejectsOversizedClusters)
 {
-    EXPECT_DEATH(CacheDirectory d(65), "1..64");
+    EXPECT_DEATH(CacheDirectory d(257), "1..256");
+}
+
+TEST(ShardedCacheDirectory, OwnershipPartitionsFiles)
+{
+    const int nodes = 8, shards = 16;
+    ShardedCacheDirectory d(nodes, 0, shards, 4);
+    for (press::storage::FileId f = 0; f < 1000; ++f) {
+        int s = ShardedCacheDirectory::shardOf(f, shards);
+        EXPECT_GE(s, 0);
+        EXPECT_LT(s, shards);
+        int owner = d.ownerOf(f);
+        EXPECT_GE(owner, 0);
+        EXPECT_LT(owner, nodes);
+        // Same shard -> same owner, deterministically.
+        EXPECT_EQ(owner, ShardedCacheDirectory(nodes, 3, shards, 4)
+                             .ownerOf(f));
+    }
+}
+
+TEST(ShardedCacheDirectory, OwnerAnswersAuthoritatively)
+{
+    ShardedCacheDirectory d(4, 0, 4, 4);
+    // Find a file node 0 owns.
+    press::storage::FileId owned = 0;
+    while (!d.owns(owned))
+        ++owned;
+    NodeMask m;
+    EXPECT_EQ(d.lookup(owned, m), ShardedCacheDirectory::Answer::Owner);
+    EXPECT_TRUE(m.none());
+    d.update(2, owned, true);
+    EXPECT_EQ(d.lookup(owned, m), ShardedCacheDirectory::Answer::Owner);
+    EXPECT_TRUE(m.test(2));
+    d.update(2, owned, false);
+    EXPECT_EQ(d.lookup(owned, m), ShardedCacheDirectory::Answer::Owner);
+    EXPECT_TRUE(m.none());
+    EXPECT_EQ(d.ownedFiles(), 0u);
+}
+
+TEST(ShardedCacheDirectory, HotSetLearnsAndEvictsLru)
+{
+    ShardedCacheDirectory d(4, 0, 4, 2);
+    // Collect files node 0 does NOT own.
+    std::vector<press::storage::FileId> foreign;
+    for (press::storage::FileId f = 0; foreign.size() < 3; ++f)
+        if (!d.owns(f))
+            foreign.push_back(f);
+
+    NodeMask m;
+    EXPECT_EQ(d.lookup(foreign[0], m),
+              ShardedCacheDirectory::Answer::Unknown);
+    d.hotLearn(foreign[0], 1, true);
+    d.hotLearn(foreign[1], 2, true);
+    EXPECT_EQ(d.hotFiles(), 2u);
+    EXPECT_EQ(d.lookup(foreign[0], m), ShardedCacheDirectory::Answer::Hot);
+    EXPECT_TRUE(m.test(1));
+    // Touch foreign[0] so foreign[1] is the LRU victim.
+    d.hotLearn(foreign[0], 3, true);
+    d.hotLearn(foreign[2], 1, true);
+    EXPECT_EQ(d.hotFiles(), 2u);
+    EXPECT_EQ(d.lookup(foreign[1], m),
+              ShardedCacheDirectory::Answer::Unknown);
+    EXPECT_EQ(d.lookup(foreign[0], m), ShardedCacheDirectory::Answer::Hot);
+    EXPECT_TRUE(m.test(1));
+    EXPECT_TRUE(m.test(3));
+}
+
+TEST(ShardedCacheDirectory, EntriesBoundedByShardPlusHotSet)
+{
+    // The memory story: each of N nodes holds only ~F/S of the F files
+    // plus a bounded hot set, vs F entries replicated everywhere.
+    const int nodes = 16, shards = 16;
+    const press::storage::FileId files = 4096;
+    ShardedCacheDirectory d(nodes, 0, shards, 8);
+    CacheDirectory repl(nodes);
+    for (press::storage::FileId f = 0; f < files; ++f) {
+        repl.update(1, f, true);
+        if (d.owns(f))
+            d.update(1, f, true);
+        else
+            d.hotLearn(f, 1, true);
+    }
+    EXPECT_EQ(repl.knownFiles(), files);
+    // splitmix64 spreads files near-uniformly over shards.
+    EXPECT_LT(d.entries(), files / shards + 8 + files / (shards * 4));
+    EXPECT_GE(d.ownedFiles(), files / (shards * 2));
 }

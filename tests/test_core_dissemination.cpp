@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Tests for scalable dissemination (gossip rounds, multicast trees) and
+ * the sharded cache directory: convergence bounds, message-count
+ * exactness, a sharded-vs-replicated end-state oracle, and byte
+ * identity under the parallel kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/dissemination.hpp"
+#include "obs/trace_io.hpp"
+#include "workload/trace_gen.hpp"
+
+using namespace press;
+using core::DisseminationEngine;
+using core::Rumor;
+
+// ---------------------------------------------------------------------
+// Engine primitives
+// ---------------------------------------------------------------------
+
+TEST(Dissemination, PeerSamplesAreDeterministicAndValid)
+{
+    std::vector<int> a, b;
+    for (std::uint64_t round = 1; round <= 50; ++round) {
+        DisseminationEngine::samplePeers(42, round, 3, 64, 4, a);
+        DisseminationEngine::samplePeers(42, round, 3, 64, 4, b);
+        EXPECT_EQ(a, b) << "sample must be a pure function of its inputs";
+        EXPECT_EQ(a.size(), 4u);
+        std::set<int> distinct(a.begin(), a.end());
+        EXPECT_EQ(distinct.size(), 4u);
+        EXPECT_EQ(distinct.count(3), 0u) << "never samples self";
+        for (int p : a) {
+            EXPECT_GE(p, 0);
+            EXPECT_LT(p, 64);
+        }
+    }
+    // Small clusters cap the sample at nodes - 1.
+    DisseminationEngine::samplePeers(42, 1, 0, 3, 4, a);
+    EXPECT_EQ(a.size(), 2u);
+    DisseminationEngine::samplePeers(42, 1, 0, 1, 4, a);
+    EXPECT_TRUE(a.empty());
+}
+
+TEST(Dissemination, PeerSamplesVaryAcrossRoundsAndNodes)
+{
+    // Not a randomness test, just a degeneracy guard: the union of a
+    // node's samples over a handful of rounds should cover much more
+    // than one fanout's worth of peers.
+    std::set<int> seen;
+    std::vector<int> s;
+    for (std::uint64_t round = 1; round <= 16; ++round) {
+        DisseminationEngine::samplePeers(7, round, 0, 64, 4, s);
+        seen.insert(s.begin(), s.end());
+    }
+    EXPECT_GT(seen.size(), 20u);
+}
+
+TEST(Dissemination, TreeEdgesCoverEveryNodeExactlyOnce)
+{
+    // A wave rooted at r sends exactly one message per (parent, child)
+    // edge; the edge set must be a spanning tree: every non-root node
+    // is someone's child exactly once. This is the N-1 message-count
+    // exactness the bench's analytic column relies on.
+    std::vector<int> children;
+    for (int nodes : {2, 5, 16, 64, 256}) {
+        for (int fanout : {1, 2, 4, 8}) {
+            for (int root : {0, 1, nodes / 2, nodes - 1}) {
+                std::vector<int> childCount(nodes, 0);
+                int edges = 0;
+                for (int self = 0; self < nodes; ++self) {
+                    DisseminationEngine::treeChildren(self, root, fanout,
+                                                     nodes, children);
+                    for (int c : children) {
+                        ASSERT_GE(c, 0);
+                        ASSERT_LT(c, nodes);
+                        ++childCount[c];
+                        ++edges;
+                    }
+                }
+                EXPECT_EQ(edges, nodes - 1)
+                    << "nodes=" << nodes << " fanout=" << fanout
+                    << " root=" << root;
+                EXPECT_EQ(childCount[root], 0);
+                for (int n = 0; n < nodes; ++n) {
+                    if (n == root)
+                        continue;
+                    EXPECT_EQ(childCount[n], 1) << "node " << n;
+                }
+            }
+        }
+    }
+}
+
+TEST(Dissemination, TreeDepthIsLogarithmic)
+{
+    EXPECT_EQ(DisseminationEngine::treeDepth(1, 4), 0);
+    EXPECT_EQ(DisseminationEngine::treeDepth(2, 4), 1);
+    EXPECT_EQ(DisseminationEngine::treeDepth(256, 4), 4);
+    EXPECT_LE(DisseminationEngine::treeDepth(256, 2), 8);
+}
+
+TEST(Dissemination, AcceptFiltersStaleAndDuplicate)
+{
+    DisseminationEngine::Params p;
+    p.nodes = 8;
+    p.self = 0;
+    DisseminationEngine e(p);
+
+    auto loadRumor = [](int origin, std::uint32_t seq, int load) {
+        Rumor r;
+        r.isLoad = true;
+        r.origin = origin;
+        r.seq = seq;
+        r.load = load;
+        r.hops = 3;
+        return r;
+    };
+    // Load: latest-value semantics — only strictly newer seqs apply.
+    EXPECT_TRUE(e.accept(loadRumor(3, 5, 10)));
+    EXPECT_FALSE(e.accept(loadRumor(3, 5, 10))) << "duplicate";
+    EXPECT_FALSE(e.accept(loadRumor(3, 4, 7))) << "stale reordering";
+    EXPECT_TRUE(e.accept(loadRumor(3, 6, 11)));
+    EXPECT_FALSE(e.accept(loadRumor(0, 99, 1))) << "own origin";
+
+    auto cachingRumor = [](int origin, std::uint32_t seq) {
+        Rumor r;
+        r.isLoad = false;
+        r.origin = origin;
+        r.seq = seq;
+        r.file = 17;
+        r.cached = true;
+        r.hops = 3;
+        return r;
+    };
+    // Caching: event semantics — reordered events all apply once.
+    EXPECT_TRUE(e.accept(cachingRumor(2, 3)));
+    EXPECT_TRUE(e.accept(cachingRumor(2, 1))) << "reordered, not stale";
+    EXPECT_TRUE(e.accept(cachingRumor(2, 2)));
+    EXPECT_FALSE(e.accept(cachingRumor(2, 3))) << "duplicate";
+    EXPECT_FALSE(e.accept(cachingRumor(2, 1))) << "duplicate";
+    EXPECT_TRUE(e.accept(cachingRumor(2, 4)));
+}
+
+// ---------------------------------------------------------------------
+// Gossip convergence
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Lockstep mesh of engines: one rumor from node 0, synchronous round
+ *  delivery. Returns rounds until every node accepted it (or -1). */
+int
+roundsToConverge(int nodes, int fanout, std::uint64_t seed)
+{
+    DisseminationEngine::Params base;
+    base.nodes = nodes;
+    base.fanout = fanout;
+    base.seed = seed;
+
+    std::vector<std::unique_ptr<DisseminationEngine>> engines;
+    for (int i = 0; i < nodes; ++i) {
+        auto p = base;
+        p.self = i;
+        engines.push_back(std::make_unique<DisseminationEngine>(p));
+        if (i != 0)
+            engines.back()->makeOwnLoad(0, 0); // quiesce: announced once
+    }
+
+    std::vector<bool> infected(static_cast<std::size_t>(nodes), false);
+    infected[0] = true; // engine 0's own load is dirty; rounds spread it
+    int covered = 1;
+
+    int ttl = DisseminationEngine::gossipTtl(nodes, fanout);
+    for (int round = 1; round <= ttl; ++round) {
+        std::vector<std::pair<int, Rumor>> mail;
+        for (int i = 0; i < nodes; ++i)
+            engines[i]->runRound(i == 0 ? 1 : 0,
+                                 [&](int dst, const Rumor &r) {
+                                     mail.emplace_back(dst, r);
+                                 });
+        for (const auto &[dst, r] : mail) {
+            if (!engines[dst]->accept(r))
+                continue;
+            engines[dst]->enqueueRelay(r);
+            if (r.origin == 0 &&
+                !infected[static_cast<std::size_t>(dst)]) {
+                infected[static_cast<std::size_t>(dst)] = true;
+                ++covered;
+            }
+        }
+        if (covered == nodes)
+            return round;
+    }
+    return -1;
+}
+
+} // namespace
+
+TEST(Dissemination, GossipConvergesWithinTtlRounds)
+{
+    // The hop budget gossipTtl = ceil(log_k N) + slack must suffice for
+    // one rumor to infect the whole cluster under lockstep rounds.
+    for (int nodes : {16, 64, 256}) {
+        for (std::uint64_t seed : {42ull, 7ull, 1234ull}) {
+            int rounds = roundsToConverge(nodes, 4, seed);
+            EXPECT_NE(rounds, -1)
+                << "no convergence: nodes=" << nodes << " seed=" << seed;
+            EXPECT_LE(rounds, DisseminationEngine::gossipTtl(nodes, 4));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Full-cluster checks
+// ---------------------------------------------------------------------
+
+namespace {
+
+workload::Trace
+smallTrace()
+{
+    auto spec = workload::clarknetSpec();
+    spec.numRequests = 6000;
+    return workload::generateTrace(spec);
+}
+
+std::string
+runFingerprint(core::PressConfig config, const workload::Trace &trace,
+               std::uint64_t requests = 3000)
+{
+    config.trace = true;
+    core::PressCluster cluster(config, trace);
+    auto r = cluster.run(requests);
+
+    std::ostringstream fp;
+    fp.precision(17);
+    fp << "throughput " << r.throughput << "\n";
+    fp << "measured " << r.requestsMeasured << "\n";
+    fp << "forward " << r.forwardFraction << "\n";
+    fp << "disk_reads " << r.diskReads << "\n";
+    fp << "gossip_rounds " << r.gossipRounds << "\n";
+    fp << "rumor_sends " << r.gossipRumorSends << "\n";
+    fp << "waves " << r.loadWaves << " " << r.cachingWaves << "\n";
+    fp << "dir " << r.dirEntriesMaxPerNode << " " << r.dirEntriesTotal
+       << " " << r.dirLookups << " " << r.dirHomeReturns << "\n";
+    fp << "events " << cluster.simulator().eventsExecuted() << "\n";
+    fp << "now " << cluster.simulator().now() << "\n";
+    cluster.dumpStats(fp);
+    cluster.writeLaneTable(fp);
+    if (r.trace)
+        obs::writeTrace(fp, *r.trace);
+    return fp.str();
+}
+
+void
+expectThreadIdentity(core::PressConfig config, const workload::Trace &trace)
+{
+    config.threads = 1;
+    std::string base = runFingerprint(config, trace);
+    ASSERT_FALSE(base.empty());
+    config.threads = 4;
+    EXPECT_EQ(base, runFingerprint(config, trace));
+}
+
+} // namespace
+
+TEST(Dissemination, TreeClusterMessageCountMatchesWaves)
+{
+    // Every tree wave is exactly N-1 messages. The measurement-window
+    // reset can split a handful of waves across the boundary, so allow
+    // that much slack while pinning the per-wave linear cost.
+    auto trace = smallTrace();
+    core::PressConfig config;
+    config.protocol = core::Protocol::ViaClan;
+    config.version = core::Version::V0;
+    config.nodes = 8;
+    config.dissemination = core::Dissemination::tree(4);
+    core::PressCluster cluster(config, trace);
+    auto r = cluster.run(3000);
+
+    auto loadMsgs =
+        r.comm.byKind[static_cast<int>(core::MsgKind::Load)].msgs;
+    auto cachingMsgs =
+        r.comm.byKind[static_cast<int>(core::MsgKind::Caching)].msgs;
+    std::uint64_t perWave = static_cast<std::uint64_t>(config.nodes - 1);
+
+    EXPECT_GT(r.loadWaves, 0u);
+    EXPECT_GT(r.cachingWaves, 0u);
+    std::uint64_t slack = 8 * perWave; // waves straddling the reset
+    EXPECT_LE(loadMsgs, r.loadWaves * perWave + slack);
+    EXPECT_GE(loadMsgs + slack, r.loadWaves * perWave);
+    EXPECT_LE(cachingMsgs, r.cachingWaves * perWave + slack);
+    EXPECT_GE(cachingMsgs + slack, r.cachingWaves * perWave);
+}
+
+TEST(Dissemination, GossipClusterBoundsRoundTraffic)
+{
+    auto trace = smallTrace();
+    core::PressConfig config;
+    config.protocol = core::Protocol::ViaClan;
+    config.version = core::Version::V0;
+    config.nodes = 8;
+    config.dissemination = core::Dissemination::gossip(4);
+    core::PressCluster cluster(config, trace);
+    auto r = cluster.run(3000);
+
+    EXPECT_GT(r.gossipRounds, 0u);
+    EXPECT_GT(r.gossipRumorSends, 0u);
+    // Every slot push goes to the full fanout-k sample (8 nodes give
+    // every round 4 distinct peers), so rumor-level pushes come in
+    // exact multiples of the fanout.
+    EXPECT_EQ(r.gossipRumorSends %
+                  static_cast<std::uint64_t>(config.dissemination.fanout),
+              0u);
+    // On the wire a round is at most one Load plus one Caching digest
+    // per sampled peer, however many rumors were due (window boundary
+    // slack for rounds straddling the measurement epoch).
+    auto wireMsgs =
+        r.comm.byKind[static_cast<int>(core::MsgKind::Load)].msgs +
+        r.comm.byKind[static_cast<int>(core::MsgKind::Caching)].msgs;
+    auto digestCap = static_cast<std::uint64_t>(
+        2 * config.dissemination.fanout);
+    EXPECT_LE(wireMsgs, (r.gossipRounds + 2) * digestCap);
+    EXPECT_LT(wireMsgs, r.gossipRumorSends)
+        << "digests must beat per-rumor sends";
+}
+
+TEST(Dissemination, ShardedMatchesReplicatedServiceAndShrinksDirectory)
+{
+    // Same trace, same requests: the directory organisation must not
+    // change *what* gets served, only where the metadata lives. With no
+    // warm-up reset both runs must answer every request, and at the
+    // drained end state the owners' maps must mirror the real caches.
+    auto trace = smallTrace();
+    core::PressConfig config;
+    config.protocol = core::Protocol::TcpFastEthernet;
+    config.nodes = 8;
+    config.warmupFraction = 0.0;
+    config.dissemination = core::Dissemination::piggyBack();
+
+    config.directoryMode = core::DirectoryMode::Replicated;
+    core::PressCluster repl(config, trace);
+    auto rRepl = repl.run(4000);
+
+    config.directoryMode = core::DirectoryMode::Sharded;
+    config.dirShards = 16;
+    config.dirHotSet = 32;
+    core::PressCluster shard(config, trace);
+    auto rShard = shard.run(4000);
+
+    EXPECT_EQ(rRepl.requestsMeasured, 4000u);
+    EXPECT_EQ(rShard.requestsMeasured, 4000u);
+
+    // Owner maps must exactly mirror cache contents once drained.
+    auto files = static_cast<press::storage::FileId>(
+        trace.files.count());
+    std::uint64_t cachedPairs = 0, ownerBits = 0;
+    for (int i = 0; i < config.nodes; ++i) {
+        const auto *dir = shard.server(i).shardDirectory();
+        ASSERT_NE(dir, nullptr);
+        ownerBits += [&] {
+            std::uint64_t bits = 0;
+            for (press::storage::FileId f = 0; f < files; ++f) {
+                core::NodeMask m;
+                if (dir->lookup(f, m) ==
+                    core::ShardedCacheDirectory::Answer::Owner)
+                    bits += static_cast<std::uint64_t>(m.count());
+            }
+            return bits;
+        }();
+    }
+    for (int i = 0; i < config.nodes; ++i)
+        for (press::storage::FileId f = 0; f < files; ++f)
+            if (shard.server(i).cache().contains(f)) {
+                ++cachedPairs;
+                const auto *owner =
+                    shard.server(shard.server(i)
+                                     .shardDirectory()
+                                     ->ownerOf(f))
+                        .shardDirectory();
+                core::NodeMask m;
+                ASSERT_EQ(owner->lookup(f, m),
+                          core::ShardedCacheDirectory::Answer::Owner);
+                EXPECT_TRUE(m.test(i))
+                    << "owner lost node " << i << " file " << f;
+            }
+    EXPECT_EQ(ownerBits, cachedPairs)
+        << "owner maps hold stale entries";
+
+    // The memory story: one shard + bounded hot set per node.
+    EXPECT_GT(rRepl.dirEntriesMaxPerNode, 0u);
+    EXPECT_LE(rShard.dirEntriesMaxPerNode,
+              rRepl.dirEntriesMaxPerNode / 4)
+        << "sharding should shrink the per-node directory";
+}
+
+TEST(Dissemination, GossipByteIdenticalAcrossThreads)
+{
+    auto trace = smallTrace();
+    core::PressConfig config;
+    config.protocol = core::Protocol::ViaClan;
+    config.version = core::Version::V0;
+    config.nodes = 4;
+    config.dissemination = core::Dissemination::gossip(2);
+    expectThreadIdentity(config, trace);
+}
+
+TEST(Dissemination, TreeShardedByteIdenticalAcrossThreads)
+{
+    auto trace = smallTrace();
+    core::PressConfig config;
+    config.protocol = core::Protocol::TcpClan;
+    config.nodes = 4;
+    config.dissemination = core::Dissemination::tree(2);
+    config.directoryMode = core::DirectoryMode::Sharded;
+    config.dirShards = 8;
+    config.dirHotSet = 64;
+    expectThreadIdentity(config, trace);
+}
+
+TEST(Dissemination, SequentialRunsAreReproducible)
+{
+    // threads == 0 (the classic sequential kernel) is its own
+    // determinism class: identical to itself run-to-run.
+    auto trace = smallTrace();
+    core::PressConfig config;
+    config.protocol = core::Protocol::ViaClan;
+    config.version = core::Version::V2;
+    config.nodes = 6;
+    config.dissemination = core::Dissemination::gossip(3);
+    config.directoryMode = core::DirectoryMode::Sharded;
+    std::string a = runFingerprint(config, trace);
+    std::string b = runFingerprint(config, trace);
+    EXPECT_EQ(a, b);
+}

@@ -52,6 +52,7 @@ struct RaceOptions {
     int jobs = 1;
     std::uint64_t requests = 20000;
     std::string tablePath = "lookahead.txt";
+    std::string filter; ///< keep scenarios whose label contains this
     std::vector<std::uint64_t> parallelThreads; ///< empty = phase 3 off
     bool parallelOnly = false;
 
@@ -72,6 +73,8 @@ struct RaceOptions {
                 o.requests = util::cliU64(argc, argv, i);
             } else if (!std::strcmp(argv[i], "--table")) {
                 o.tablePath = util::cliValue(argc, argv, i);
+            } else if (!std::strcmp(argv[i], "--filter")) {
+                o.filter = util::cliValue(argc, argv, i);
             } else if (!std::strcmp(argv[i], "--parallel-threads")) {
                 const char *list = util::cliValue(argc, argv, i);
                 std::string item;
@@ -100,6 +103,8 @@ struct RaceOptions {
                        "  --table F     write the measured lookahead "
                        "table to F\n"
                        "                (default lookahead.txt)\n"
+                       "  --filter S    only scenarios whose label "
+                       "contains S\n"
                        "  --parallel-threads LIST\n"
                        "                comma-separated thread counts "
                        "(e.g. 2,4): rerun the\n"
@@ -146,6 +151,39 @@ scenarioConfigs()
         c.protocol = core::Protocol::ViaClan;
         c.version = core::Version::V0;
         c.nodes = 4;
+        configs.push_back(c);
+    }
+    {
+        // The scalable dissemination path: gossip rounds plus a
+        // sharded cache directory (docs/simulation.md, "Scalable
+        // dissemination"). Not golden-pinned, but the hunter compares
+        // every permutation against its own FIFO baseline.
+        core::PressConfig c;
+        c.protocol = core::Protocol::ViaClan;
+        c.version = core::Version::V0;
+        c.nodes = 8;
+        c.dissemination = core::Dissemination::gossip();
+        c.directoryMode = core::DirectoryMode::Sharded;
+        configs.push_back(c);
+    }
+    {
+        // Gossip with the replicated directory — isolates the gossip
+        // engine from the sharded-directory forwarding protocol.
+        core::PressConfig c;
+        c.protocol = core::Protocol::ViaClan;
+        c.version = core::Version::V0;
+        c.nodes = 8;
+        c.dissemination = core::Dissemination::gossip();
+        configs.push_back(c);
+    }
+    {
+        // Sharded directory under the paper's piggyback strategy —
+        // isolates the owner-lookup path from gossip.
+        core::PressConfig c;
+        c.protocol = core::Protocol::ViaClan;
+        c.version = core::Version::V0;
+        c.nodes = 8;
+        c.directoryMode = core::DirectoryMode::Sharded;
         configs.push_back(c);
     }
     return configs;
@@ -288,6 +326,14 @@ main(int argc, char **argv)
     workload::Trace trace = workload::generateTrace(spec);
 
     std::vector<core::PressConfig> configs = scenarioConfigs();
+    if (!opts.filter.empty()) {
+        std::erase_if(configs, [&](const core::PressConfig &c) {
+            return c.label().find(opts.filter) == std::string::npos;
+        });
+        if (configs.empty())
+            util::fatal("--filter ", opts.filter,
+                        " matches no scenario");
+    }
 
     bool races_clean = true;
     bool causality_clean = true;
