@@ -22,12 +22,18 @@
 #       tree smoke with the VIA checker live plus the sharded-vs-
 #       replicated directory oracle (examples/scale_smoke), and a
 #       K=4 tick-race hunt focused on the gossip scenario
-#   (h) lint pass (clang-tidy when available + project grep bans,
-#       including the nondeterminism, raw-argv and raw-RNG bans)
+#   (h) fault: the fault-tolerance subsystem — a churn bench smoke
+#       (kill 2 of 16 mid-trace; zero lost requests is the exit
+#       code), a crash-scenario byte-identity diff across --jobs
+#       values, and the fault tests under ThreadSanitizer (see
+#       docs/simulation.md, "Fault tolerance")
+#   (i) lint pass (clang-tidy when available + project grep bans,
+#       including the nondeterminism, raw-argv, raw-RNG and raw-throw
+#       bans)
 #
 # Usage: scripts/check.sh [stage...]
-#   stage  any of: tier1 asan tsan trace races parallel scale lint
-#          (default: all eight, in order)
+#   stage  any of: tier1 asan tsan trace races parallel scale fault
+#          lint (default: all nine, in order)
 #
 # Every requested stage runs even when an earlier one fails; the
 # summary table at the end shows per-stage pass/fail and the script
@@ -39,7 +45,7 @@ set -uo pipefail
 cd "$(dirname "$0")/.."
 
 if [ $# -eq 0 ]; then
-    STAGES=(tier1 asan tsan trace races parallel scale lint)
+    STAGES=(tier1 asan tsan trace races parallel scale fault lint)
 else
     STAGES=("$@")
 fi
@@ -161,6 +167,29 @@ stage_scale() {
         --table build/lookahead-scale.txt
 }
 
+stage_fault() {
+    cmake -B build -S . -G Ninja -DPRESS_WERROR=ON
+    cmake --build build -j "$(nproc)" --target fault_churn test_fault
+    # Churn smoke: kill 2 of 16 nodes mid-trace, restart them later.
+    # The bench exits nonzero when any cell strands a request, so
+    # "zero lost requests" is enforced by the exit code. Determinism:
+    # the sequential and sweep-parallel runs must print the same
+    # table and JSON, byte for byte.
+    ( cd build && ./bench/fault_churn --quick --jobs 1           > fault-j1.txt && mv BENCH_fault.json fault-j1.json )
+    ( cd build && ./bench/fault_churn --quick --jobs 4           > fault-j4.txt && mv BENCH_fault.json fault-j4.json )
+    diff build/fault-j1.txt build/fault-j4.txt
+    diff build/fault-j1.json build/fault-j4.json
+    echo "fault churn byte-identical across --jobs 1/4"
+    # The same churn scenarios under ThreadSanitizer: crash recovery
+    # exercises the windowed kernel's cross-domain paths.
+    cmake -B build-tsan -S . -G Ninja \
+        -DPRESS_SANITIZE=thread -DPRESS_WERROR=ON
+    cmake --build build-tsan -j "$(nproc)" --target test_fault
+    TSAN_OPTIONS="halt_on_error=1" \
+        ctest --test-dir build-tsan -j "$(nproc)" \
+        --output-on-failure -R "FaultPlan|Membership|FaultCluster"
+}
+
 stage_lint() {
     scripts/lint.sh build
 }
@@ -170,10 +199,10 @@ OVERALL=0
 
 for stage in "${STAGES[@]}"; do
     case "$stage" in
-    tier1|asan|tsan|trace|races|parallel|scale|lint) ;;
+    tier1|asan|tsan|trace|races|parallel|scale|fault|lint) ;;
     *)
         echo "check.sh: unknown stage '$stage'" \
-             "(want tier1|asan|tsan|trace|races|parallel|scale|lint)" >&2
+             "(want tier1|asan|tsan|trace|races|parallel|scale|fault|lint)" >&2
         exit 2
         ;;
     esac

@@ -71,6 +71,14 @@ ban "std::endl" 'std::endl' 'src/util/logging' \
 ban "malloc/free" '\b(malloc|calloc|realloc|free)\(' '<none>' \
     "the codebase is RAII-only"
 
+# Exceptions: recovery paths must never throw — connection loss
+# surfaces as error completions and statuses, request loss as retries.
+# The one sanctioned throw site is FaultPlan construction (PlanError,
+# src/fault/), caught at the CLI boundary.
+ban "raw throw" '\bthrow\b' 'src/fault/' \
+    "signal errors with statuses or PRESS_ASSERT; only src/fault/ plan \
+construction may throw (PlanError)"
+
 # ------------------------------------------------- CLI parsing bans
 # Hand-rolled option loops read operands with `argv[++i]` (a missing
 # operand falls through to a misleading "unknown option" error) and

@@ -34,6 +34,8 @@ violationKindName(Violation::Kind kind)
         return "credit-over-release";
       case Violation::Kind::RmwOutOfBounds:
         return "rmw-out-of-bounds";
+      case Violation::Kind::PostToDeadVi:
+        return "post-to-dead-vi";
     }
     return "unknown";
 }
@@ -175,6 +177,7 @@ ViaChecker::onPostSend(const VirtualInterface &vi, const Descriptor &desc)
 {
     std::string op = desc.op == Opcode::RdmaWrite ? "postSend(RdmaWrite)"
                                                   : "postSend(Send)";
+    checkLiveVi(vi, op);
     checkLifecycle(vi, desc, op);
     checkLocalBuffer(vi, desc, op);
 
@@ -196,6 +199,7 @@ ViaChecker::onPostSend(const VirtualInterface &vi, const Descriptor &desc)
 void
 ViaChecker::onPostRecv(const VirtualInterface &vi, const Descriptor &desc)
 {
+    checkLiveVi(vi, "postRecv");
     checkLifecycle(vi, desc, "postRecv");
     checkLocalBuffer(vi, desc, "postRecv");
 }
@@ -241,6 +245,20 @@ ViaChecker::NodeState &
 ViaChecker::stateFor(const MemoryRegistry &registry)
 {
     return _nodes[&registry]; // unattached registries get node = -1
+}
+
+void
+ViaChecker::checkLiveVi(const VirtualInterface &vi, const std::string &op)
+{
+    ++_checks;
+    if (!vi.broken())
+        return;
+    Violation v;
+    v.kind = Violation::Kind::PostToDeadVi;
+    v.op = op;
+    v.node = vi.node();
+    v.detail = "descriptor posted on a torn-down connection";
+    record(std::move(v));
 }
 
 void

@@ -24,6 +24,10 @@
  *    out-of-bounds rather than unregistered.
  *  - Flow-control credit counts stay within [0, window] (via hooks the
  *    comm layer installs on its CreditGates).
+ *  - No descriptor is posted on a VI whose connection has been torn
+ *    down (peer crash). Completions *draining* with an error status
+ *    after the teardown are the legitimate VIA disconnect vocabulary
+ *    and are never flagged; only new posts are.
  *
  * Violations produce a structured report (kind, operation, node, memory
  * handle, address range, simulated tick). CheckMode::Abort panics on the
@@ -68,6 +72,7 @@ struct Violation {
         NegativeCredits,     ///< flow-control credits went below zero
         CreditOverRelease,   ///< credits exceeded the window
         RmwOutOfBounds,      ///< remote write runs off the target region
+        PostToDeadVi,        ///< descriptor posted on a broken connection
     };
 
     Kind kind;
@@ -166,6 +171,9 @@ class ViaChecker : public via::ViaObserver
     void flagBadRange(const via::MemoryRegistry &registry,
                       via::Address addr, std::uint64_t length,
                       const std::string &op, bool rmw);
+
+    /** Flag any post on a VI whose connection has been torn down. */
+    void checkLiveVi(const via::VirtualInterface &vi, const std::string &op);
 
     /** Validate a local DMA buffer (zero-length needs no registration). */
     void checkLocalBuffer(const via::VirtualInterface &vi,

@@ -82,6 +82,10 @@ PressCluster::dumpStats(std::ostream &os) const
            << _servers[i]->cache().files() << "\n";
         os << p << "press.cache.used_mb "
            << _servers[i]->cache().usedBytes() / 1e6 << "\n";
+        os << p << "press.latency.p99_ms "
+           << s.latencyHist.quantile(0.99) / 1e6 << "\n";
+        os << p << "press.latency.p999_ms "
+           << s.latencyHist.quantile(0.999) / 1e6 << "\n";
         // New-subsystem lines appear only for configs that use them, so
         // dumps of the paper's configurations stay byte-identical.
         if (_config.directoryMode == DirectoryMode::Sharded ||
@@ -99,6 +103,19 @@ PressCluster::dumpStats(std::ostream &os) const
             os << p << "press.tree.caching_waves " << s.cachingWaves
                << "\n";
         }
+        if (!_config.fault.empty()) {
+            os << p << "press.fault.retried " << s.requestsRetried
+               << "\n";
+            os << p << "press.fault.stale_drops " << s.staleReplies
+               << "\n";
+            os << p << "press.fault.membership_sends "
+               << s.membershipSends << "\n";
+            os << p << "press.fault.reannounced " << s.reAnnouncedFiles
+               << "\n";
+            os << p << "comm.dropped_sends " << _comms[i]->droppedSends()
+               << "\n";
+            os << p << "comm.rx_errors " << _comms[i]->rxErrors() << "\n";
+        }
         const auto &tx = _comms[i]->txStats();
         for (int k = 0; k < static_cast<int>(MsgKind::NumKinds); ++k)
             os << p << "comm.tx."
@@ -113,6 +130,14 @@ struct PressCluster::ClientSlot {
     int index = 0;
     bool active = false;
     bool closedLoop = true;
+
+    // Fault-mode bookkeeping (untouched in healthy runs): the request
+    // in flight, the node it went to, and a generation counter so a
+    // reply from a superseded attempt cannot double-advance the slot.
+    storage::FileId file = storage::InvalidFile;
+    int pendingNode = -1;
+    bool inFlight = false;
+    std::uint32_t generation = 0;
 };
 
 PressCluster::PressCluster(const PressConfig &config,
@@ -301,8 +326,22 @@ PressCluster::PressCluster(const PressConfig &config,
 PressCluster::~PressCluster() = default;
 
 void
-PressCluster::replyFinished(ClientSlot *slot)
+PressCluster::replyFinished(ClientSlot *slot, std::uint32_t gen)
 {
+    if (_faultEnabled && slot->closedLoop) {
+        if (gen != slot->generation)
+            return; // a client retry superseded this attempt
+        slot->inFlight = false;
+        slot->pendingNode = -1;
+        if (_measuring) {
+            auto idx = static_cast<std::size_t>(
+                (_sim.now() - _measureStart) /
+                ClusterResults::ReplyBucket);
+            if (_replyBuckets.size() <= idx)
+                _replyBuckets.resize(idx + 1, 0);
+            ++_replyBuckets[idx];
+        }
+    }
     _lastReply = _sim.now();
     if (slot->closedLoop)
         issueNext(*slot);
@@ -355,7 +394,24 @@ PressCluster::issueNext(ClientSlot &slot)
         _sim.atBarrier([this]() { resetForMeasurement(); });
     }
 
+    issueRequest(slot, file);
+}
+
+void
+PressCluster::issueRequest(ClientSlot &slot, storage::FileId file)
+{
     int node = static_cast<int>(_clientRng.uniformInt(_config.nodes));
+    if (_faultEnabled && !_clientAlive[static_cast<std::size_t>(node)]) {
+        // Linear probe to the next node the clients believe up (a
+        // real client's connect() to the dead node would fail over).
+        for (int s = 1; s < _config.nodes; ++s) {
+            int cand = (node + s) % _config.nodes;
+            if (_clientAlive[static_cast<std::size_t>(cand)]) {
+                node = cand;
+                break;
+            }
+        }
+    }
     int client_port = _config.nodes + node;
 
     // Real HTTP on the wire: the GET for each file is built once and
@@ -373,6 +429,13 @@ PressCluster::issueNext(ClientSlot &slot)
     std::uint64_t req_bytes = _requestWireBytes[file];
 
     ClientSlot *slot_ptr = &slot;
+    std::uint32_t gen = 0;
+    if (_faultEnabled && slot.closedLoop) {
+        slot.file = file;
+        slot.pendingNode = node;
+        slot.inFlight = true;
+        gen = slot.generation;
+    }
     if (_config.distribution == Distribution::FrontEndLard) {
         // All requests enter through the front-end's port.
         int fe_port = 2 * _config.nodes;
@@ -384,9 +447,9 @@ PressCluster::issueNext(ClientSlot &slot)
         return;
     }
     _external->send(client_port, node, req_bytes,
-                    [this, node, file, slot_ptr,
+                    [this, node, file, slot_ptr, gen,
                      wire = std::move(wire)]() {
-                        requestArrived(node, file, wire, slot_ptr);
+                        requestArrived(node, file, wire, slot_ptr, gen);
                     });
 }
 
@@ -470,7 +533,7 @@ PressCluster::frontEndRoute(storage::FileId file,
                                 _config.nodes;
                         _external->send(backend, client_port,
                                         resp.wireBytes(), [this, slot]() {
-                                            replyFinished(slot);
+                                            replyFinished(slot, 0);
                                         });
                     });
             });
@@ -479,7 +542,8 @@ PressCluster::frontEndRoute(storage::FileId file,
 
 void
 PressCluster::requestArrived(int node, storage::FileId file,
-                             const net::Payload &wire, ClientSlot *slot)
+                             const net::Payload &wire, ClientSlot *slot,
+                             std::uint32_t gen)
 {
     // Ingress: parse the request text and resolve the path, exactly as
     // the real server's accept path would (the simulated cost of this
@@ -501,15 +565,17 @@ PressCluster::requestArrived(int node, storage::FileId file,
 
     int client_port = _config.nodes + node;
     _servers[node]->handleClientRequest(
-        file, [this, node, file, client_port, keep_alive,
-               slot](std::uint64_t) {
+        file, [this, node, file, client_port, keep_alive, slot,
+               gen](std::uint64_t) {
             // Egress: build the HTTP response; its wire size replaces
             // the server's header estimate.
             http::Response resp = http::makeFileResponse(
                 200, _trace.files.size(file),
                 http::mimeType(_site.path(file)), keep_alive);
             _external->send(node, client_port, resp.wireBytes(),
-                            [this, slot]() { replyFinished(slot); });
+                            [this, slot, gen]() {
+                                replyFinished(slot, gen);
+                            });
         });
 }
 
@@ -537,6 +603,153 @@ PressCluster::resetForMeasurement()
         _tracer->resetAggregates();
 }
 
+void
+PressCluster::clientMarkDead(int node)
+{
+    _clientAlive[static_cast<std::size_t>(node)] = 0;
+}
+
+void
+PressCluster::clientMarkAlive(int node)
+{
+    _clientAlive[static_cast<std::size_t>(node)] = 1;
+}
+
+void
+PressCluster::clientScanDead(int node)
+{
+    // Requests in flight to the dead node died with it (their pending
+    // entries are gone); re-issue each from its slot. Slot order is
+    // the fixed _clients order, so the scan is deterministic, and the
+    // generation bump makes any late reply from the old attempt a
+    // no-op.
+    for (auto &slot : _clients) {
+        if (!slot->inFlight || slot->pendingNode != node)
+            continue;
+        ++slot->generation;
+        slot->inFlight = false;
+        slot->pendingNode = -1;
+        ++_clientRetries;
+        issueRequest(*slot, slot->file);
+    }
+}
+
+void
+PressCluster::setupFaults()
+{
+    const auto &plan = _config.fault;
+    if (plan.empty()) {
+        _faultEnabled = false;
+        return; // healthy run: no fault machinery activates at all
+    }
+    PRESS_ASSERT(_config.distribution != Distribution::FrontEndLard,
+                 "fault plans are not supported with the LARD "
+                 "front-end (its hand-off state has no recovery path)");
+    plan.validate(_config.nodes);
+
+    _faultEnabled = true;
+    _clientAlive.assign(static_cast<std::size_t>(_config.nodes), 1);
+    _clientRetries = 0;
+    _replyBuckets.clear();
+    for (auto &server : _servers)
+        server->enableFaultMode();
+
+    // Every fault-driven action is pre-scheduled here, before run(),
+    // on the domain that owns it: the event on the target node, the
+    // failure detector's suspicion/confirmation on every survivor, and
+    // the dead-node marks plus stuck-slot scans on the client domain.
+    // That makes churn runs exactly as deterministic as healthy ones —
+    // nothing about fault timing depends on execution order.
+    //
+    // Each observer's detector fires with a small per-node skew.
+    // Without it every survivor would act at the exact same tick in a
+    // different domain — a synchronized multi-domain burst healthy
+    // traffic never produces, whose equal-tick cross-domain ordering
+    // is undefined (the tick-race hunter flags it). Real failure
+    // detectors are not clock-synchronized either; the skew is a pure
+    // function of the observer id, so runs stay byte-identical.
+    auto skew = [](int s) {
+        return static_cast<sim::Tick>(s + 1) * 131;
+    };
+    for (const auto &ev : plan.timeline()) {
+        const int x = ev.node;
+        const std::uint32_t e = ev.epoch;
+        switch (ev.kind) {
+          case fault::FaultKind::Crash: {
+            _sim.setCurrentDomain(x);
+            _sim.schedule(ev.at,
+                          [this, x, e]() { _servers[x]->faultCrash(e); });
+            for (int s = 0; s < _config.nodes; ++s) {
+                if (s == x)
+                    continue;
+                _sim.setCurrentDomain(s);
+                _sim.schedule(ev.at + plan.suspectDelay + skew(s),
+                              [this, s, x, e]() {
+                                  _servers[s]->peerSuspected(x, e);
+                              });
+                _sim.schedule(ev.at + plan.suspectDelay +
+                                  plan.confirmDelay + skew(s),
+                              [this, s, x, e]() {
+                                  _servers[s]->peerGone(
+                                      x, e, fault::NodeState::Dead);
+                              });
+            }
+            _sim.setCurrentDomain(clientDomain());
+            _sim.schedule(ev.at + plan.suspectDelay, [this, x]() {
+                clientMarkDead(x);
+                clientScanDead(x);
+            });
+            break;
+          }
+          case fault::FaultKind::Restart:
+          case fault::FaultKind::Join: {
+            _sim.setCurrentDomain(x);
+            _sim.schedule(ev.at, [this, x, e]() {
+                _servers[x]->faultRestart(e);
+            });
+            for (int s = 0; s < _config.nodes; ++s) {
+                if (s == x)
+                    continue;
+                _sim.setCurrentDomain(s);
+                _sim.schedule(ev.at + plan.suspectDelay + skew(s),
+                              [this, s, x, e]() {
+                                  _servers[s]->peerRestarted(x, e);
+                              });
+            }
+            _sim.setCurrentDomain(clientDomain());
+            _sim.schedule(ev.at + plan.suspectDelay,
+                          [this, x]() { clientMarkAlive(x); });
+            break;
+          }
+          case fault::FaultKind::Leave: {
+            _sim.setCurrentDomain(x);
+            _sim.schedule(ev.at, [this, x, e]() {
+                _servers[x]->faultLeave(e);
+            });
+            _sim.schedule(ev.at + plan.drainDelay, [this, x]() {
+                _servers[x]->faultLeaveDown();
+            });
+            for (int s = 0; s < _config.nodes; ++s) {
+                if (s == x)
+                    continue;
+                _sim.setCurrentDomain(s);
+                _sim.schedule(ev.at + plan.drainDelay +
+                                  plan.suspectDelay + skew(s),
+                              [this, s, x, e]() {
+                                  _servers[s]->peerLeftTeardown(x, e);
+                              });
+            }
+            _sim.setCurrentDomain(clientDomain());
+            _sim.schedule(ev.at, [this, x]() { clientMarkDead(x); });
+            _sim.schedule(ev.at + plan.drainDelay + plan.suspectDelay,
+                          [this, x]() { clientScanDead(x); });
+            break;
+          }
+        }
+    }
+    _sim.setCurrentDomain(sim::NoDomain);
+}
+
 ClusterResults
 PressCluster::run(std::uint64_t max_requests)
 {
@@ -554,6 +767,11 @@ PressCluster::run(std::uint64_t max_requests)
     _resetPending = false;
     _measureStart = 0;
     _lastReply = 0;
+
+    // Pre-schedule every fault event (no-op for an empty plan) so the
+    // kernel — sequential or parallel — sees churn as ordinary
+    // same-domain events, keeping runs byte-identical.
+    setupFaults();
 
     // The initial request wave (and everything issueNext touches — the
     // client RNG, the request feed) belongs to the client domain.
@@ -625,6 +843,7 @@ PressCluster::run(std::uint64_t max_requests)
                   : 0.0;
     r.p50LatencyMs = latency_hist.quantile(0.50) / 1e6;
     r.p99LatencyMs = latency_hist.quantile(0.99) / 1e6;
+    r.p999LatencyMs = latency_hist.quantile(0.999) / 1e6;
     std::uint64_t reqs = 0;
     for (auto &server : _servers)
         reqs += server->stats().requests;
@@ -639,6 +858,58 @@ PressCluster::run(std::uint64_t max_requests)
             r.comm.byKind[k].msgs += tx.byKind[k].msgs;
             r.comm.byKind[k].bytes += tx.byKind[k].bytes;
         }
+    }
+
+    if (_faultEnabled) {
+        for (auto &server : _servers) {
+            const auto &s = server->stats();
+            r.requestsRetried += s.requestsRetried;
+            r.staleDrops += s.staleReplies;
+            r.membershipSends += s.membershipSends;
+            r.reAnnouncedFiles += s.reAnnouncedFiles;
+        }
+        for (auto &comm : _comms) {
+            r.droppedSends += comm->droppedSends();
+            r.rxErrors += comm->rxErrors();
+        }
+        for (auto &slot : _clients)
+            if (slot->inFlight)
+                ++r.requestsLost;
+        r.clientRetries = _clientRetries;
+        r.replyBuckets = _replyBuckets;
+        // View convergence: the worst lag between a node going down and
+        // the last survivor marking it Dead/Left in its local view.
+        // Nodes that were themselves down when the event happened only
+        // learn of it from the rejoin view-sync; they are not
+        // detection-lag observers and are skipped.
+        auto down_at = [this](int node, sim::Tick when) {
+            bool down = false;
+            for (const auto &e : _config.fault.timeline()) {
+                if (e.node != node || e.at > when)
+                    continue;
+                down = e.kind == fault::FaultKind::Crash ||
+                       e.kind == fault::FaultKind::Leave;
+            }
+            return down;
+        };
+        sim::Tick worst = 0;
+        for (const auto &ev : _config.fault.timeline()) {
+            if (ev.kind != fault::FaultKind::Crash &&
+                ev.kind != fault::FaultKind::Leave)
+                continue;
+            for (int s = 0; s < _config.nodes; ++s) {
+                if (s == ev.node || _servers[s]->crashed() ||
+                    down_at(s, ev.at))
+                    continue;
+                const auto *view = _servers[s]->membership();
+                if (!view)
+                    continue;
+                sim::Tick at = view->deadSince(ev.node);
+                if (at >= ev.at)
+                    worst = std::max(worst, at - ev.at);
+            }
+        }
+        r.viewConvergeMs = static_cast<double>(worst) / 1e6;
     }
 
     sim::Tick busy_total = 0;

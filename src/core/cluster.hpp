@@ -47,6 +47,7 @@ struct ClusterResults {
     double avgLatencyMs = 0;    ///< mean request latency
     double p50LatencyMs = 0;    ///< median (log-bucket approximation)
     double p99LatencyMs = 0;    ///< tail  (log-bucket approximation)
+    double p999LatencyMs = 0;   ///< extreme tail (log-bucket approx.)
     std::uint64_t requestsMeasured = 0;
     double measuredSeconds = 0;
 
@@ -75,6 +76,28 @@ struct ClusterResults {
     std::uint64_t cachingWaves = 0;
     std::uint64_t dirLookups = 0;     ///< shard-owner lookups answered
     std::uint64_t dirHomeReturns = 0; ///< lookups bounced home
+
+    // Fault tolerance (populated when PressConfig::fault is non-empty).
+
+    /** Width of one replyBuckets slot of simulated time. */
+    static constexpr sim::Tick ReplyBucket = 100 * util::MS;
+
+    std::uint64_t requestsRetried = 0;  ///< server-side retries
+    std::uint64_t clientRetries = 0;    ///< client re-issues (dead node)
+    std::uint64_t requestsLost = 0;     ///< in flight, never answered
+    std::uint64_t staleDrops = 0;       ///< stale deliveries dropped
+    std::uint64_t membershipSends = 0;  ///< MembershipMsg rumors sent
+    std::uint64_t reAnnouncedFiles = 0; ///< recovery caching announcements
+    std::uint64_t droppedSends = 0;     ///< sends suppressed (peer down)
+    std::uint64_t rxErrors = 0;         ///< error/flushed completions
+
+    /** Worst survivor lag marking a dead/left node down, ms. */
+    double viewConvergeMs = 0;
+
+    /** Valid replies per ReplyBucket of measured time — the fault
+     *  bench derives throughput-dip depth and recovery time from
+     *  these. Empty in healthy runs. */
+    std::vector<std::uint64_t> replyBuckets;
 
     /** The run's trace snapshot (null unless config.trace was set).
      *  Shared so results stay cheap to copy through sweep runners. */
@@ -155,11 +178,28 @@ class PressCluster
     struct ClientSlot;
 
     void issueNext(ClientSlot &slot);
-    void replyFinished(ClientSlot *slot);
+    /** Send one request for @p file from @p slot to a (fault mode:
+     *  believed-alive) node — the wire half of issueNext, reused by the
+     *  client-side dead-node retry. */
+    void issueRequest(ClientSlot &slot, storage::FileId file);
+    void replyFinished(ClientSlot *slot, std::uint32_t gen);
     void scheduleArrival();
     void requestArrived(int node, storage::FileId file,
-                        const net::Payload &wire, ClientSlot *slot);
+                        const net::Payload &wire, ClientSlot *slot,
+                        std::uint32_t gen);
     void resetForMeasurement();
+
+    // --- fault tolerance ---------------------------------------------
+
+    /** Pre-schedule every FaultPlan event (per-domain, before run()):
+     *  crash/restart/leave on the target node, detector suspicion and
+     *  confirmation on every survivor, dead-node marks and stuck-slot
+     *  scans on the client domain. */
+    void setupFaults();
+    void clientMarkDead(int node);
+    void clientMarkAlive(int node);
+    /** Re-issue requests stuck on @p node (it died with them). */
+    void clientScanDead(int node);
 
     PressConfig _config;
     const workload::Trace &_trace;
@@ -193,6 +233,12 @@ class PressCluster
     void frontEndRoute(storage::FileId file, const net::Payload &wire,
                        ClientSlot *slot);
     int lardPick(storage::FileId file);
+
+    // Fault-mode client state (all untouched when the plan is empty).
+    bool _faultEnabled = false;
+    std::vector<char> _clientAlive; ///< client view of node liveness
+    std::uint64_t _clientRetries = 0;
+    std::vector<std::uint64_t> _replyBuckets;
 
     std::uint64_t _warmupBoundary = 0;
     bool _measuring = false;

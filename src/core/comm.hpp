@@ -16,6 +16,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "core/messages.hpp"
 #include "obs/tracer.hpp"
@@ -113,6 +114,57 @@ class ClusterComm
     virtual void sendFile(int dst, const FileMsg &msg) = 0;
 
     /**
+     * Membership update (fault tolerance). Backends carry it like any
+     * short control message; the default is provided so backends
+     * without fault support need no change (it must never be reached
+     * while a FaultPlan is active — the cluster wires real backends).
+     */
+    virtual void
+    sendMembership(int dst, const MembershipMsg &msg)
+    {
+        (void)dst;
+        (void)msg;
+    }
+
+    // ----------------------------------------------- fault transitions
+    //
+    // Called from this end's own scheduling domain by the server's
+    // fault hooks. The base class keeps the reachability flags every
+    // backend consults before putting bytes on the wire: a send to a
+    // peer believed down is dropped (and counted) instead of posted,
+    // which is what keeps the VIA checker's dead-VI rule clean —
+    // error completions only ever come from genuinely in-flight
+    // traffic racing a teardown.
+
+    /** A peer was detected down: tear down this end's resources toward
+     *  it and stop sending until peerUp(). */
+    virtual void
+    peerDown(int peer)
+    {
+        reach(peer) = 0;
+    }
+
+    /** A peer rejoined: revive this end's resources toward it. */
+    virtual void
+    peerUp(int peer)
+    {
+        reach(peer) = 1;
+    }
+
+    /** This node crashed/left: drop all traffic until selfUp(). */
+    virtual void selfDown() { _selfDown = true; }
+
+    /** This node restarted. */
+    virtual void selfUp() { _selfDown = false; }
+
+    /** Sends suppressed because the destination was believed down. */
+    std::uint64_t droppedSends() const { return _droppedSends; }
+
+    /** Receive completions that drained with an error status (torn
+     *  down connections) and inbound messages dropped while down. */
+    std::uint64_t rxErrors() const { return _rxErrors; }
+
+    /**
      * The server is done using the buffer an arrived file occupied
      * (after replying to the client). Backends whose receive path keeps
      * the communication buffer alive until then (zero-copy receive)
@@ -198,6 +250,36 @@ class ClusterComm
         return _loadProvider ? _loadProvider() : -1;
     }
 
+    /** May this end put bytes on the wire toward @p dst right now? */
+    bool
+    peerReachable(int dst) const
+    {
+        if (_selfDown)
+            return false;
+        return dst < 0 ||
+               static_cast<std::size_t>(dst) >= _peerAlive.size() ||
+               _peerAlive[static_cast<std::size_t>(dst)] != 0;
+    }
+
+    /** Reachability flag for @p peer (grows the table on demand; all
+     *  peers start alive). */
+    char &
+    reach(int peer)
+    {
+        if (static_cast<std::size_t>(peer) >= _peerAlive.size())
+            _peerAlive.resize(static_cast<std::size_t>(peer) + 1, 1);
+        return _peerAlive[static_cast<std::size_t>(peer)];
+    }
+
+    /** Count a send suppressed by peerReachable(). Deliberately does
+     *  NOT touch recordSend(): suppressed traffic must not perturb the
+     *  Tables-2/4 accounting or the trace of a healthy run. */
+    void countDroppedSend() { ++_droppedSends; }
+
+    /** Count a receive-side error (flushed completion, arrival while
+     *  down). */
+    void countRxError() { ++_rxErrors; }
+
     MessageHandler _handler;
     LoadProvider _loadProvider;
     CommStats _tx;
@@ -205,6 +287,10 @@ class ClusterComm
     int _traceNode = 0;
     obs::Counter *_txMsgsMetric = nullptr;
     obs::Counter *_txBytesMetric = nullptr;
+    std::vector<char> _peerAlive; ///< empty = everyone alive
+    bool _selfDown = false;
+    std::uint64_t _droppedSends = 0;
+    std::uint64_t _rxErrors = 0;
 };
 
 } // namespace press::core

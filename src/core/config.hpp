@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/calibration.hpp"
+#include "fault/fault_plan.hpp"
 #include "sim/event_queue.hpp"
 #include "util/units.hpp"
 
@@ -313,6 +314,15 @@ struct PressConfig {
     /** Per-node trace ring capacity (events retained; older events are
      *  overwritten, aggregates stay complete). ~24 bytes per event. */
     std::uint32_t traceEventsPerNode = 16384;
+
+    /**
+     * Deterministic fault schedule (crash/restart/leave/join, see
+     * fault/fault_plan.hpp). Empty — the default — means a healthy run
+     * with zero behavioral difference from builds without the fault
+     * subsystem: every fault branch in the cluster is gated on the
+     * plan being non-empty.
+     */
+    fault::FaultPlan fault;
 
     Calibration calibration = Calibration::defaults();
 

@@ -100,6 +100,21 @@ class CreditGate
         _onStall = std::move(observer);
     }
 
+    /**
+     * Connection teardown (fault path): discard every queued thunk —
+     * the messages they carry are lost with the peer — and restore the
+     * full window for the reconnect. Safe under an attached checker
+     * observer: credits == window is always in range.
+     */
+    void
+    reset()
+    {
+        while (!_waiting.empty())
+            _waiting.pop_front();
+        _credits = _window;
+        observed();
+    }
+
     int credits() const { return _credits; }
     int window() const { return _window; }
     std::size_t backlog() const { return _waiting.size(); }
@@ -153,6 +168,10 @@ class CreditReturner
         _pending = 0;
         _send(n);
     }
+
+    /** Connection teardown: forget pending credits without sending —
+     *  the window is re-established from scratch on reconnect. */
+    void reset() { _pending = 0; }
 
     int pending() const { return _pending; }
 

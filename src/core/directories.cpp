@@ -133,6 +133,19 @@ CacheDirectory::randomCaching(storage::FileId file, util::Rng &rng) const
     return randomIn(it->second, rng, _nodes);
 }
 
+void
+CacheDirectory::dropNode(int node)
+{
+    PRESS_ASSERT(node >= 0 && node < _nodes, "bad node id ", node);
+    for (auto it = _masks.begin(); it != _masks.end();) {
+        it->second.clear(node);
+        if (it->second.none())
+            it = _masks.erase(it);
+        else
+            ++it;
+    }
+}
+
 // ---------------------------------------------------------------------
 // ShardedCacheDirectory
 // ---------------------------------------------------------------------
@@ -162,10 +175,71 @@ ShardedCacheDirectory::shardOf(storage::FileId file, int shards)
 int
 ShardedCacheDirectory::ownerOf(storage::FileId file) const
 {
+    if (_faultActive)
+        return ownerIn(file, _alive);
     auto s = static_cast<std::uint64_t>(shardOf(file, _shards));
     return static_cast<int>(s * static_cast<std::uint64_t>(_nodes) /
                             static_cast<std::uint64_t>(_shards)) %
            _nodes;
+}
+
+int
+ShardedCacheDirectory::ownerIn(storage::FileId file,
+                               const NodeMask &alive) const
+{
+    auto s = static_cast<std::uint64_t>(shardOf(file, _shards));
+    int primary = static_cast<int>(
+                      s * static_cast<std::uint64_t>(_nodes) /
+                      static_cast<std::uint64_t>(_shards)) %
+                  _nodes;
+    if (alive.test(primary))
+        return primary;
+    // Walk to the next alive id: pure function of (file, alive set),
+    // so all survivors agree on the new owner without coordination.
+    for (int step = 1; step < _nodes; ++step) {
+        int cand = (primary + step) % _nodes;
+        if (alive.test(cand))
+            return cand;
+    }
+    return primary; // never-all-down is enforced by FaultPlan::validate
+}
+
+void
+ShardedCacheDirectory::setAlive(const NodeMask &alive)
+{
+    PRESS_ASSERT(alive.any(), "alive set cannot be empty");
+    _faultActive = true;
+    _alive = alive;
+    // Ownership may have moved away from this node; the new owner
+    // rebuilds the entries from re-announcements.
+    for (auto it = _owned.begin(); it != _owned.end();) {
+        if (!owns(it->first))
+            it = _owned.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+ShardedCacheDirectory::dropNode(int node)
+{
+    PRESS_ASSERT(node >= 0 && node < _nodes, "bad node id ", node);
+    for (auto it = _owned.begin(); it != _owned.end();) {
+        it->second.clear(node);
+        if (it->second.none())
+            it = _owned.erase(it);
+        else
+            ++it;
+    }
+    for (auto it = _hot.begin(); it != _hot.end();) {
+        it->second.mask.clear(node);
+        if (it->second.mask.none()) {
+            _hotLru.erase(it->second.lru);
+            it = _hot.erase(it);
+        } else {
+            ++it;
+        }
+    }
 }
 
 void

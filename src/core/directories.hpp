@@ -153,6 +153,10 @@ class CacheDirectory
     /** Distinct files known to be cached somewhere. */
     std::size_t knownFiles() const { return _masks.size(); }
 
+    /** Fault recovery: forget everything @p node was believed to cache
+     *  (its cache died with it). */
+    void dropNode(int node);
+
   private:
     int _nodes;
     std::unordered_map<storage::FileId, NodeMask> _masks;
@@ -182,6 +186,15 @@ class ShardedCacheDirectory
 
     /** The node owning @p file's shard. */
     int ownerOf(storage::FileId file) const;
+
+    /**
+     * The node that owns @p file's shard under a hypothetical @p alive
+     * set: the primary owner when alive, else the next alive node id.
+     * Recovery compares ownerIn(file, before) with ownerIn(file, after)
+     * to decide which resident files need re-announcing after a
+     * membership change.
+     */
+    int ownerIn(storage::FileId file, const NodeMask &alive) const;
 
     /** True when this node owns @p file's shard. */
     bool owns(storage::FileId file) const { return ownerOf(file) == _self; }
@@ -221,6 +234,19 @@ class ShardedCacheDirectory
 
     int shards() const { return _shards; }
 
+    /**
+     * Fault recovery: restrict shard ownership to the @p alive nodes.
+     * A shard whose primary owner (floor(shard * N / S) mod N) is down
+     * maps to the next alive node id — a pure function of the alive
+     * set, so every survivor computes the same remapping without
+     * coordination. Authoritative entries this node no longer owns are
+     * dropped (the new owner rebuilds them from re-announcements).
+     */
+    void setAlive(const NodeMask &alive);
+
+    /** Fault recovery: forget @p node from every caching set. */
+    void dropNode(int node);
+
   private:
     struct HotEntry {
         NodeMask mask;
@@ -234,6 +260,8 @@ class ShardedCacheDirectory
     int _self;
     int _shards;
     std::uint32_t _hotCap;
+    bool _faultActive = false; ///< setAlive() was called at least once
+    NodeMask _alive;
     std::unordered_map<storage::FileId, NodeMask> _owned;
     std::unordered_map<storage::FileId, HotEntry> _hot;
     std::list<storage::FileId> _hotLru; ///< front = most recent

@@ -16,6 +16,8 @@ msgKindName(MsgKind kind)
         return "Caching";
       case MsgKind::File:
         return "File";
+      case MsgKind::Membership:
+        return "Membership";
       case MsgKind::NumKinds:
         break;
     }

@@ -23,6 +23,7 @@ enum class MsgKind : int {
     Forward,  ///< short: a file name (request forwarding)
     Caching,  ///< short: a file name (cache add/evict broadcast)
     File,     ///< long: file data (and the V3+ metadata companion)
+    Membership, ///< short: a node-state change (fault tolerance)
     NumKinds,
 };
 
@@ -108,6 +109,21 @@ struct LoadDigestMsg {
 /** Caching-information digest; see LoadDigestMsg. */
 struct CachingDigestMsg {
     std::vector<CachingMsg> rumors; ///< every entry has origin >= 0
+};
+
+/**
+ * Membership update: "node `subject` is in `state` as of fault epoch
+ * `epoch`" (see fault/membership.hpp for the merge rule). `origin` is
+ * the node that first confirmed the change; `hops` bounds gossip/tree
+ * relaying exactly like the dissemination rumors. Only sent while a
+ * FaultPlan is active — healthy runs never carry this kind.
+ */
+struct MembershipMsg {
+    int subject = -1;
+    std::uint8_t state = 0; ///< fault::NodeState
+    std::uint32_t epoch = 0;
+    int origin = -1;
+    int hops = 0;
 };
 
 /** File transfer: the reply to a ForwardMsg. */

@@ -1,5 +1,6 @@
 #include "press_server.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "core/wire.hpp"
@@ -11,6 +12,15 @@ using osnode::CatClientComm;
 using osnode::CatIntraComm;
 using osnode::CatService;
 using storage::FileId;
+
+namespace {
+
+/** Load sentinel for nodes believed down: large enough that a dead
+ *  node can never win a least-loaded pick, small enough to never
+ *  overflow load arithmetic. */
+constexpr int DeadLoad = 1 << 29;
+
+} // namespace
 
 PressServer::PressServer(sim::Simulator &sim, const PressConfig &config,
                          int id, osnode::Node &node,
@@ -99,6 +109,8 @@ PressServer::replyCost(std::uint64_t bytes) const
 void
 PressServer::handleClientRequest(FileId file, ReplyFn on_reply)
 {
+    if (_crashed)
+        return; // connection refused; the client's dead-node scan retries
     ++_stats.requests;
     ++_openConnections;
     loadChanged();
@@ -163,9 +175,25 @@ PressServer::dispatch(FileId file, std::uint32_t tag)
         return;
     }
 
-    // Rule 4: pick a service node among the caching nodes.
+    // Rule 4: pick a service node among the caching nodes. Fault mode
+    // additionally masks out nodes not currently believed Alive (the
+    // suspect window, before the directory itself is repaired).
     int candidate;
-    if (_config.dissemination.kind == Dissemination::Kind::None) {
+    if (_faultActive) {
+        NodeMask mask = _cacheDir.mask(file);
+        for (int j = 0; j < _config.nodes; ++j)
+            if (mask.test(j) && !_view->aliveNode(j))
+                mask.clear(j);
+        if (mask.none()) {
+            decided(obs::DispatchDecision::FirstTouch);
+            serveLocal(file, tag, false);
+            return;
+        }
+        if (_config.dissemination.kind == Dissemination::Kind::None)
+            candidate = randomIn(mask, _rng, _config.nodes);
+        else
+            candidate = leastLoadedIn(mask, _loadDir, _config.nodes);
+    } else if (_config.dissemination.kind == Dissemination::Kind::None) {
         // No load information: any caching node will do.
         candidate = _cacheDir.randomCaching(file, _rng);
     } else {
@@ -200,6 +228,7 @@ PressServer::dispatch(FileId file, std::uint32_t tag)
         if (_forwardsMetric)
             _forwardsMetric->add();
         _comm.sendForward(candidate, ForwardMsg{file, tag});
+        noteAwaiting(tag, candidate);
     } else {
         ++_stats.overloadLocalServes;
         decided(obs::DispatchDecision::OverloadLocal);
@@ -234,6 +263,7 @@ PressServer::dispatchSharded(FileId file, std::uint32_t tag)
             _forwardsMetric->add();
         _comm.sendForward(
             owner, ForwardMsg{file, tag, _id, ForwardRoute::Lookup});
+        noteAwaiting(tag, owner);
         return;
     }
 
@@ -247,6 +277,16 @@ PressServer::dispatchSharded(FileId file, std::uint32_t tag)
     // Rule 4 against the local answer; identical to the replicated
     // logic. A stale hot entry only costs a disk read at the service
     // node (its handleForward falls back to disk and re-replicates).
+    if (_faultActive) {
+        for (int j = 0; j < _config.nodes; ++j)
+            if (mask.test(j) && !_view->aliveNode(j))
+                mask.clear(j);
+        if (mask.none()) {
+            decided(obs::DispatchDecision::FirstTouch);
+            serveLocal(file, tag, false);
+            return;
+        }
+    }
     int candidate;
     if (_config.dissemination.kind == Dissemination::Kind::None) {
         candidate = randomIn(mask, _rng, _config.nodes);
@@ -278,6 +318,7 @@ PressServer::dispatchSharded(FileId file, std::uint32_t tag)
             _forwardsMetric->add();
         _comm.sendForward(
             candidate, ForwardMsg{file, tag, _id, ForwardRoute::Serve});
+        noteAwaiting(tag, candidate);
     } else {
         ++_stats.overloadLocalServes;
         decided(obs::DispatchDecision::OverloadLocal);
@@ -296,16 +337,33 @@ PressServer::handleDirLookup(int from, const ForwardMsg &msg)
     // Probe the owned shard and route; charged as one directory lookup.
     _node.cpu().submit(
         _cal.service.dirLookup, CatService, [this, file, tag, origin]() {
+            if (_crashed)
+                return;
             NodeMask mask;
             auto answer = _shardDir->lookup(file, mask);
-            PRESS_ASSERT(answer == ShardedCacheDirectory::Answer::Owner,
-                         "lookup routed to non-owner for file ", file);
 
             auto send_home = [&]() {
                 _comm.sendForward(
                     origin,
                     ForwardMsg{file, tag, origin, ForwardRoute::Home});
             };
+
+            if (answer != ShardedCacheDirectory::Answer::Owner) {
+                // Only possible mid-churn: ownership moved while the
+                // lookup was in flight. Bounce home — the initial node
+                // serves (and replicates) rather than chasing owners.
+                PRESS_ASSERT(_faultActive,
+                             "lookup routed to non-owner for file ",
+                             file);
+                send_home();
+                return;
+            }
+
+            if (_faultActive) {
+                for (int j = 0; j < _config.nodes; ++j)
+                    if (mask.test(j) && !_view->aliveNode(j))
+                        mask.clear(j);
+            }
 
             // Candidate pick excludes the initial node: if it were the
             // best caching node its rule 2 would have kept the request,
@@ -326,6 +384,14 @@ PressServer::handleDirLookup(int from, const ForwardMsg &msg)
             if (candidate == _id) {
                 // The owner itself is the service node: no third hop.
                 serviceRemote(origin, file, tag);
+                return;
+            }
+            if (_faultActive) {
+                // No third hop under churn: the initial node tracks
+                // only the owner it asked, so a three-party chain
+                // would fall outside its retry bookkeeping. Serving
+                // home costs one disk read and keeps recovery exact.
+                send_home();
                 return;
             }
 
@@ -378,7 +444,16 @@ PressServer::reply(std::uint32_t tag, std::uint64_t file_bytes,
                    int buffer_owner)
 {
     auto it = _pending.find(tag);
-    PRESS_ASSERT(it != _pending.end(), "reply for unknown tag ", tag);
+    if (it == _pending.end()) {
+        // Only fault mode loses tags: a crash clears _pending while
+        // disk reads / file transfers for those requests are still in
+        // flight, and a retried request may race its original reply.
+        PRESS_ASSERT(_faultActive, "reply for unknown tag ", tag);
+        ++_stats.staleReplies;
+        if (buffer_owner >= 0)
+            _comm.fileBufferDone(buffer_owner);
+        return;
+    }
     Pending pending = std::move(it->second);
     _pending.erase(it);
 
@@ -413,7 +488,11 @@ PressServer::reply(std::uint32_t tag, std::uint64_t file_bytes,
                 if (_latencyMetric)
                     _latencyMetric->add(ns);
             }
-            --_openConnections;
+            // Fault mode: a crash zeroes the counter while replies are
+            // still in the CPU queue, so clamp instead of going
+            // negative.
+            if (!_faultActive || _openConnections > 0)
+                --_openConnections;
             loadChanged();
             if (on_reply)
                 on_reply(bytes);
@@ -423,6 +502,35 @@ PressServer::reply(std::uint32_t tag, std::uint64_t file_bytes,
 void
 PressServer::onMessage(const Incoming &in)
 {
+    if (_crashed) {
+        // A dead node processes nothing; deliveries already past the
+        // comm layer when the crash hit are dropped here.
+        ++_stats.staleReplies;
+        return;
+    }
+
+    if (in.kind == MsgKind::Membership) {
+        const auto *msg = bodyAs<MembershipMsg>(in);
+        PRESS_ASSERT(msg, "Membership message without body");
+        // Membership rumors are exempt from the stale-sender drop
+        // below: the Alive announcement of a restarted node arrives
+        // while the view still says Dead.
+        if (_view)
+            applyMembership(msg->subject,
+                            static_cast<fault::NodeState>(msg->state),
+                            msg->epoch, msg->origin, msg->hops,
+                            /*relay=*/true);
+        return;
+    }
+
+    if (_faultActive && in.from != _id && !_view->aliveNode(in.from)) {
+        // In-flight traffic from a node this view believes down:
+        // dropping it keeps the load/cache directories from resurrect-
+        // ing dead state (the TCP analogue of a RST on a dead socket).
+        ++_stats.staleReplies;
+        return;
+    }
+
     if (in.piggyLoad >= 0 && in.from != _id)
         _loadDir.update(in.from, in.piggyLoad);
 
@@ -452,8 +560,12 @@ PressServer::onMessage(const Incoming &in)
         if (msg->origin >= 0) {
             handleCachingRumor(*msg);
         } else if (_shardDir) {
-            // Unicast owner update in sharded mode.
-            _shardDir->update(in.from, msg->file, msg->cached);
+            // Unicast owner update in sharded mode. Mid-churn the
+            // shard may have moved away between send and arrival.
+            if (_faultActive && !_shardDir->owns(msg->file))
+                ++_stats.staleReplies;
+            else
+                _shardDir->update(in.from, msg->file, msg->cached);
         } else {
             _cacheDir.update(in.from, msg->file, msg->cached);
         }
@@ -471,8 +583,10 @@ PressServer::onMessage(const Incoming &in)
             break;
           case ForwardRoute::Home:
             // The shard owner bounced the request home: serve it here
-            // (first touch or overload replication).
+            // (first touch or overload replication). The request no
+            // longer depends on any peer.
             ++_stats.dirHomeReturns;
+            noteAwaiting(msg->tag, -1);
             PRESS_TRACE_ASYNC_END(_tracer, _id, obs::Ev::ReqForward,
                                   obs::requestId(_id, msg->tag),
                                   msg->file);
@@ -522,7 +636,10 @@ PressServer::serviceRemote(int home, FileId file, std::uint32_t tag)
         PRESS_TRACE_ASYNC_END(_tracer, _id, obs::Ev::ReqService,
                               obs::requestId(home, tag), file);
         _comm.sendFile(home, FileMsg{file, tag, size});
-        --_servicingRemote;
+        // Clamp under fault: a crash zeroes the counter while disk
+        // reads for forwarded requests are still in flight.
+        if (!_faultActive || _servicingRemote > 0)
+            --_servicingRemote;
         loadChanged();
     };
 
@@ -702,7 +819,10 @@ PressServer::handleLoadRumor(const LoadMsg &msg)
             _dissem->noteDuplicate(r);
         return;
     }
-    _loadDir.update(r.origin, r.load);
+    // Rumors about a node believed down must not clobber the DeadLoad
+    // sentinel; the relay still runs so the rumor dies out normally.
+    if (nodeUsable(r.origin))
+        _loadDir.update(r.origin, r.load);
     if (_config.dissemination.kind == Dissemination::Kind::Gossip) {
         _dissem->enqueueRelay(r);
         scheduleGossipRound();
@@ -728,7 +848,10 @@ PressServer::handleCachingRumor(const CachingMsg &msg)
             _dissem->noteDuplicate(r);
         return;
     }
-    _cacheDir.update(r.origin, r.file, r.cached);
+    // Stale caching news about a dead node would resurrect directory
+    // bits recoverFromDeath() just dropped.
+    if (nodeUsable(r.origin))
+        _cacheDir.update(r.origin, r.file, r.cached);
     if (_config.dissemination.kind == Dissemination::Kind::Gossip) {
         _dissem->enqueueRelay(r);
         scheduleGossipRound();
@@ -754,7 +877,7 @@ PressServer::relayTreeRumor(const Rumor &rumor)
 void
 PressServer::scheduleGossipRound()
 {
-    if (_roundScheduled)
+    if (_roundScheduled || _crashed)
         return;
     _roundScheduled = true;
     // De-phase rounds across nodes: rumor waves would otherwise arm
@@ -791,6 +914,8 @@ void
 PressServer::runGossipRound()
 {
     _roundScheduled = false;
+    if (_crashed)
+        return; // armed before the crash; the node is gone
     ++_stats.gossipRounds;
     // Pack the round's rumors into per-peer digests: at most one Load
     // plus one Caching message per sampled peer, instead of one
@@ -838,6 +963,8 @@ PressServer::maybeEmitLoadWave()
     _waveScheduled = true;
     _sim.schedule(_nextWaveAt - now, [this]() {
         _waveScheduled = false;
+        if (_crashed)
+            return;
         int current = load();
         if (_dissem->loadDirty(current))
             emitLoadWave(current);
@@ -859,6 +986,443 @@ PressServer::emitCachingWave(FileId file, bool cached)
     ++_stats.cachingWaves;
     Rumor r = _dissem->makeOwnCaching(file, cached, /*hops=*/0);
     relayTreeRumor(r);
+}
+
+// ---------------------------------------------------------------------
+// Fault tolerance
+// ---------------------------------------------------------------------
+
+void
+PressServer::enableFaultMode()
+{
+    if (_faultActive)
+        return;
+    _faultActive = true;
+    _view = std::make_unique<fault::MembershipView>(_config.nodes, _id);
+    _leftTeardown.assign(static_cast<std::size_t>(_config.nodes), 0);
+}
+
+NodeMask
+PressServer::aliveMask() const
+{
+    NodeMask m;
+    for (int j = 0; j < _config.nodes; ++j)
+        if (_view->aliveNode(j))
+            m.set(j);
+    return m;
+}
+
+void
+PressServer::noteAwaiting(std::uint32_t tag, int peer)
+{
+    if (!_faultActive)
+        return;
+    auto it = _pending.find(tag);
+    if (it != _pending.end())
+        it->second.awaitingNode = peer;
+}
+
+void
+PressServer::teardownVolatile()
+{
+    _pending.clear();
+    for (const auto &r : _cache.snapshot())
+        _cache.erase(r.file);
+    _cacheDir = CacheDirectory(_config.nodes);
+    if (_shardDir)
+        _shardDir = std::make_unique<ShardedCacheDirectory>(
+            _config.nodes, _id, _config.dirShards, _config.dirHotSet);
+    if (_dissem) {
+        // Fresh engine: the revived node restarts its rumor sequence
+        // space under a fresh incarnation, matching the cold cache.
+        DisseminationEngine::Params p;
+        p.nodes = _config.nodes;
+        p.self = _id;
+        p.fanout = _config.dissemination.fanout;
+        p.threshold = _config.dissemination.threshold;
+        p.repeats = _config.dissemination.gossipRepeats;
+        p.seed = _config.seed;
+        _dissem = std::make_unique<DisseminationEngine>(p);
+    }
+    _openConnections = 0;
+    _servicingRemote = 0;
+    _lastBroadcastLoad = 0;
+    _loadDir.setSelf(0);
+    _comm.selfDown();
+}
+
+void
+PressServer::faultCrash(std::uint32_t epoch)
+{
+    PRESS_ASSERT(_faultActive, "faultCrash without enableFaultMode");
+    PRESS_ASSERT(!_crashed, "crash of a node that is already down");
+    _crashed = true;
+    _view->apply(_id, fault::NodeState::Dead, epoch, _sim.now());
+    PRESS_TRACE_INSTANT(_tracer, _id, obs::Ev::NodeCrashed,
+                        obs::requestId(_id, 0), epoch);
+    teardownVolatile();
+}
+
+void
+PressServer::faultRestart(std::uint32_t epoch)
+{
+    PRESS_ASSERT(_faultActive, "faultRestart without enableFaultMode");
+    PRESS_ASSERT(_crashed, "restart of a node that is up");
+    _crashed = false;
+    _comm.selfUp();
+    _view->apply(_id, fault::NodeState::Alive, epoch, _sim.now());
+    PRESS_TRACE_INSTANT(_tracer, _id, obs::Ev::ViewChanged,
+                        obs::requestId(_id, 0),
+                        obs::packKindBytes(_id, epoch));
+    _loadDir.setSelf(0);
+    if (_shardDir)
+        _shardDir->setAlive(aliveMask());
+    // Announce Alive only after the survivors have revived their
+    // endpoints toward this node (their peerRestarted events run
+    // suspectDelay after the restart); an earlier announcement would
+    // just die on their still-broken VIs.
+    _sim.schedule(_config.fault.suspectDelay, [this, epoch]() {
+        if (_crashed)
+            return;
+        MembershipMsg m;
+        m.subject = _id;
+        m.state = static_cast<std::uint8_t>(fault::NodeState::Alive);
+        m.epoch = epoch;
+        m.origin = _id;
+        m.hops = 0;
+        disseminateMembership(m);
+    });
+}
+
+void
+PressServer::faultLeave(std::uint32_t epoch)
+{
+    PRESS_ASSERT(_faultActive, "faultLeave without enableFaultMode");
+    PRESS_ASSERT(!_crashed, "leave of a node that is already down");
+    // Announce first, keep serving through the drain window; the
+    // cluster schedules faultLeaveDown() drainDelay later.
+    _view->apply(_id, fault::NodeState::Left, epoch, _sim.now());
+    PRESS_TRACE_INSTANT(_tracer, _id, obs::Ev::ViewChanged,
+                        obs::requestId(_id, 0),
+                        obs::packKindBytes(_id, epoch));
+    MembershipMsg m;
+    m.subject = _id;
+    m.state = static_cast<std::uint8_t>(fault::NodeState::Left);
+    m.epoch = epoch;
+    m.origin = _id;
+    m.hops = 0;
+    disseminateMembership(m);
+}
+
+void
+PressServer::faultLeaveDown()
+{
+    if (_crashed)
+        return;
+    _crashed = true;
+    teardownVolatile();
+}
+
+void
+PressServer::peerSuspected(int peer, std::uint32_t epoch)
+{
+    if (_crashed)
+        return;
+    if (!_view->apply(peer, fault::NodeState::Suspected, epoch,
+                      _sim.now()))
+        return;
+    PRESS_TRACE_INSTANT(_tracer, _id, obs::Ev::NodeSuspected,
+                        obs::requestId(_id, 0),
+                        obs::packKindBytes(peer, epoch));
+    // Tear down this end of the connection: in-flight completions
+    // surface as errors, new sends are suppressed. Not a recovery
+    // trigger yet — a suspicion may still be revoked by a higher-
+    // epoch Alive.
+    _comm.peerDown(peer);
+}
+
+void
+PressServer::peerGone(int peer, std::uint32_t epoch,
+                      fault::NodeState state)
+{
+    if (_crashed)
+        return;
+    PRESS_ASSERT(state == fault::NodeState::Dead ||
+                     state == fault::NodeState::Left,
+                 "peerGone wants Dead or Left");
+    applyMembership(peer, state, epoch, _id, /*hops=*/0, /*relay=*/true);
+}
+
+void
+PressServer::peerLeftTeardown(int peer, std::uint32_t epoch)
+{
+    if (_crashed)
+        return;
+    // Force the view in case the Left rumor never arrived, then tear
+    // down through the once-per-departure gate (the rumor path may
+    // already have scheduled the same teardown).
+    applyMembership(peer, fault::NodeState::Left, epoch, _id,
+                    /*hops=*/0, /*relay=*/false);
+    leftHardTeardown(peer, epoch);
+}
+
+void
+PressServer::leftHardTeardown(int peer, std::uint32_t epoch)
+{
+    if (_crashed || _leftTeardown[static_cast<std::size_t>(peer)] >= epoch)
+        return;
+    _leftTeardown[static_cast<std::size_t>(peer)] = epoch;
+    _comm.peerDown(peer);
+    recoverFromDeath(peer);
+}
+
+void
+PressServer::peerRestarted(int peer, std::uint32_t epoch)
+{
+    if (_crashed)
+        return;
+    applyMembership(peer, fault::NodeState::Alive, epoch, _id,
+                    /*hops=*/0, /*relay=*/true);
+}
+
+void
+PressServer::applyMembership(int subject, fault::NodeState state,
+                             std::uint32_t epoch, int origin, int hops,
+                             bool relay)
+{
+    if (!_view->apply(subject, state, epoch, _sim.now()))
+        return; // stale or duplicate news
+    PRESS_TRACE_INSTANT(_tracer, _id, obs::Ev::ViewChanged,
+                        obs::requestId(_id, 0),
+                        obs::packKindBytes(subject, epoch));
+    if (subject != _id) {
+        switch (state) {
+          case fault::NodeState::Suspected:
+            _comm.peerDown(subject);
+            break;
+          case fault::NodeState::Dead:
+            _comm.peerDown(subject);
+            recoverFromDeath(subject);
+            break;
+          case fault::NodeState::Left:
+            // Graceful departure: stop handing the leaver new work
+            // (aliveNode() is now false) but let in-flight traffic
+            // drain, then run the hard teardown. Survivors that were
+            // up for the departure also get a pre-scheduled
+            // peerLeftTeardown(); the epoch gate in leftHardTeardown()
+            // makes whichever path fires second a no-op. The rumor
+            // path matters for a node that was down during the leave:
+            // its pre-scheduled teardown was dropped, and without this
+            // it would keep routing to the departed node forever.
+            _sim.schedule(_config.fault.drainDelay,
+                          [this, subject, epoch]() {
+                              leftHardTeardown(subject, epoch);
+                          });
+            break;
+          case fault::NodeState::Alive:
+            _comm.peerUp(subject);
+            recoverFromRejoin(subject);
+            break;
+        }
+    }
+    if (relay) {
+        MembershipMsg m;
+        m.subject = subject;
+        m.state = static_cast<std::uint8_t>(state);
+        m.epoch = epoch;
+        m.origin = origin;
+        m.hops = hops;
+        disseminateMembership(m);
+    }
+}
+
+void
+PressServer::disseminateMembership(const MembershipMsg &msg)
+{
+    using Kind = Dissemination::Kind;
+    Kind kind = _config.dissemination.kind;
+    MembershipMsg out = msg;
+    out.hops = msg.hops + 1;
+
+    auto push = [&](int dst) {
+        if (dst == _id || dst == msg.subject || !_view->aliveNode(dst))
+            return;
+        ++_stats.membershipSends;
+        _comm.sendMembership(dst, out);
+    };
+
+    if (_dissem && kind == Kind::Gossip) {
+        // Fanout-k sample, reseeded per (epoch, hop) so successive
+        // hops cover different peers; bounded by the same TTL the
+        // load/caching rumors use.
+        if (out.hops > DisseminationEngine::gossipTtl(
+                           _config.nodes, _config.dissemination.fanout))
+            return;
+        DisseminationEngine::samplePeers(
+            _config.seed ^ 0x6d656d6265727368ull,
+            (static_cast<std::uint64_t>(msg.epoch) << 8) |
+                static_cast<std::uint64_t>(out.hops),
+            _id, _config.nodes, _config.dissemination.fanout,
+            _treeScratch);
+        for (int p : _treeScratch)
+            push(p);
+        return;
+    }
+    if (_dissem && kind == Kind::Tree) {
+        // Source-rooted k-ary subtree, like every other tree wave.
+        int root = msg.origin >= 0 && msg.origin < _config.nodes
+                       ? msg.origin
+                       : _id;
+        DisseminationEngine::treeChildren(_id, root,
+                                          _config.dissemination.fanout,
+                                          _config.nodes, _treeScratch);
+        for (int c : _treeScratch)
+            push(c);
+        return;
+    }
+
+    // The paper's strategies: one unicast flood from first-hand
+    // observers only. Every survivor learns each change from its own
+    // detector events anyway; the flood exists for convergence (a
+    // rumor can beat the detector) and must not re-amplify.
+    if (msg.hops > 0)
+        return;
+    for (int j = 0; j < _config.nodes; ++j)
+        push(j);
+}
+
+void
+PressServer::reannounceMovedShards(const NodeMask &before,
+                                   const NodeMask &after)
+{
+    int announced = 0;
+    for (const auto &r : _cache.snapshot()) {
+        if (announced >= _config.fault.announceCap)
+            break;
+        int now_owner = _shardDir->ownerIn(r.file, after);
+        if (_shardDir->ownerIn(r.file, before) == now_owner)
+            continue;
+        ++announced;
+        ++_stats.reAnnouncedFiles;
+        if (now_owner == _id)
+            _shardDir->update(_id, r.file, true);
+        else
+            _comm.sendCaching(now_owner, CachingMsg{r.file, true});
+    }
+}
+
+void
+PressServer::recoverFromDeath(int peer)
+{
+    // The dead node must never win a least-loaded pick again.
+    _loadDir.update(peer, DeadLoad);
+
+    NodeMask alive = aliveMask();
+    if (_shardDir) {
+        NodeMask before = alive;
+        before.set(peer);
+        _shardDir->dropNode(peer);
+        _shardDir->setAlive(alive);
+        // Shard handoff: files whose owner moved (away from the dead
+        // node) are re-announced to the new owner, rebuilding the
+        // authoritative map it cannot inherit.
+        reannounceMovedShards(before, alive);
+    } else {
+        // Replicated: the dead node's cache died with it.
+        _cacheDir.dropNode(peer);
+    }
+
+    // Retry requests stranded on the dead peer, at this — the initial
+    // — node, with capped exponential backoff. Tags are collected and
+    // sorted so the scan order never depends on hash-map iteration.
+    std::vector<std::uint32_t> stranded;
+    stranded.reserve(_pending.size());
+    for (auto it = _pending.begin(); it != _pending.end(); ++it)
+        if (it->second.awaitingNode == peer)
+            stranded.push_back(it->first);
+    std::sort(stranded.begin(), stranded.end());
+    for (std::uint32_t tag : stranded) {
+        Pending &p = _pending[tag];
+        p.awaitingNode = -1;
+        int attempt = p.retries++;
+        ++_stats.requestsRetried;
+        PRESS_TRACE_INSTANT(_tracer, _id, obs::Ev::RequestRetried,
+                            obs::requestId(_id, tag),
+                            static_cast<std::uint64_t>(p.retries));
+        if (p.retries > _config.fault.retry.maxAttempts) {
+            // Out of budget: stop going remote, serve from local disk.
+            serveLocal(p.file, tag, false);
+            continue;
+        }
+        _sim.schedule(_config.fault.retry.delayFor(attempt),
+                      [this, tag]() { retryNow(tag); });
+    }
+}
+
+void
+PressServer::recoverFromRejoin(int peer)
+{
+    // Rejoin view-sync. While a node is down its membership handlers
+    // drop every event, so a rejoiner that overlapped another node's
+    // crash or restart wakes up with a stale view: it may keep
+    // forwarding to a node that is still dead, or keep treating a
+    // node that restarted during its own downtime as dead and drop
+    // all its traffic. Replay our belief about every node that has
+    // ever transitioned; the epoch merge on the rejoiner's side
+    // discards anything it already knows. hops=1 keeps piggy-back
+    // floods from re-amplifying the replay.
+    for (int n = 0; n < _config.nodes; ++n) {
+        if (n == _id || n == peer || _view->epoch(n) == 0)
+            continue;
+        MembershipMsg m;
+        m.subject = n;
+        m.state = static_cast<std::uint8_t>(_view->state(n));
+        m.epoch = _view->epoch(n);
+        m.origin = _id;
+        m.hops = 1;
+        _comm.sendMembership(peer, m);
+        ++_stats.membershipSends;
+    }
+    _loadDir.update(peer, 0);
+    if (_shardDir) {
+        NodeMask alive = aliveMask(); // includes peer again
+        NodeMask before = alive;
+        before.clear(peer);
+        _shardDir->setAlive(alive);
+        // Shard handback: ownership that had been walked past the
+        // dead node returns to it; re-announce those files.
+        reannounceMovedShards(before, alive);
+        return;
+    }
+    // Replicated: the rejoined node's directory is empty. Every
+    // survivor re-announces its own residency directly to it (capped),
+    // so one round rebuilds the newcomer's full map.
+    int announced = 0;
+    for (const auto &r : _cache.snapshot()) {
+        if (announced >= _config.fault.announceCap)
+            break;
+        ++announced;
+        ++_stats.reAnnouncedFiles;
+        _comm.sendCaching(peer, CachingMsg{r.file, true});
+    }
+}
+
+void
+PressServer::retryNow(std::uint32_t tag)
+{
+    if (_crashed)
+        return;
+    auto it = _pending.find(tag);
+    if (it == _pending.end() || it->second.awaitingNode >= 0)
+        return; // served, or re-forwarded by an earlier retry
+    FileId file = it->second.file;
+    _node.cpu().submit(_cal.service.loopPass, CatService,
+                       [this, file, tag]() {
+                           if (_crashed ||
+                               _pending.find(tag) == _pending.end())
+                               return;
+                           dispatch(file, tag);
+                       });
 }
 
 } // namespace press::core

@@ -28,6 +28,7 @@
 #include "core/config.hpp"
 #include "core/directories.hpp"
 #include "core/dissemination.hpp"
+#include "fault/membership.hpp"
 #include "osnode/node.hpp"
 #include "stats/accumulator.hpp"
 #include "stats/histogram.hpp"
@@ -65,6 +66,12 @@ struct ServerStats {
     std::uint64_t dirLookupsOut = 0;   ///< requests routed via an owner
     std::uint64_t dirLookupsIn = 0;    ///< lookups processed as owner
     std::uint64_t dirHomeReturns = 0;  ///< lookups bounced home to serve
+
+    // Fault tolerance (PressConfig::fault non-empty).
+    std::uint64_t requestsRetried = 0;  ///< retries after a peer death
+    std::uint64_t staleReplies = 0;     ///< post-crash/stale deliveries dropped
+    std::uint64_t membershipSends = 0;  ///< MembershipMsg rumors sent
+    std::uint64_t reAnnouncedFiles = 0; ///< caching re-announcements sent
     stats::Accumulator latency;      ///< request latency, ns
     stats::LogHistogram latencyHist; ///< same samples, for percentiles
 
@@ -141,11 +148,61 @@ class PressServer
     /** Attach the observability hub (null detaches). */
     void setTracer(obs::Tracer *tracer);
 
+    // --- fault tolerance (driven by Cluster::setupFaults) -------------
+
+    /**
+     * Activate the fault machinery: allocate the membership view and
+     * switch on the fault-gated branches. Called once per server before
+     * run() when PressConfig::fault is non-empty; without this call the
+     * server behaves bit-identically to a build without the subsystem.
+     */
+    void enableFaultMode();
+
+    /** This node crashes now: pending requests dropped, cache and
+     *  directories lost, comm endpoint down. @p epoch is the fault
+     *  epoch from FaultPlan::timeline(). */
+    void faultCrash(std::uint32_t epoch);
+
+    /** This node returns cold after a crash (or rejoins after leave). */
+    void faultRestart(std::uint32_t epoch);
+
+    /** This node leaves gracefully: announce Left now, keep serving;
+     *  the cluster schedules the actual teardown after drainDelay. */
+    void faultLeave(std::uint32_t epoch);
+
+    /** Teardown half of a graceful leave (after the drain window). */
+    void faultLeaveDown();
+
+    /** Failure detector: @p peer has been silent for suspectDelay. */
+    void peerSuspected(int peer, std::uint32_t epoch);
+
+    /** Failure detector: suspicion hardened after confirmDelay; run
+     *  recovery. @p state is Dead for crashes, Left for departures. */
+    void peerGone(int peer, std::uint32_t epoch, fault::NodeState state);
+
+    /** A leaver's drain window closed: tear down the connection and
+     *  run recovery (the Left rumor itself only stops new work). */
+    void peerLeftTeardown(int peer, std::uint32_t epoch);
+    void leftHardTeardown(int peer, std::uint32_t epoch);
+
+    /** A restarted/joined peer announced itself Alive again. */
+    void peerRestarted(int peer, std::uint32_t epoch);
+
+    /** True while this node is down (crashed or left-and-drained). */
+    bool crashed() const { return _crashed; }
+
+    /** Membership view (null until enableFaultMode()). */
+    const fault::MembershipView *membership() const { return _view.get(); }
+
   private:
     struct Pending {
         storage::FileId file;
         ReplyFn onReply;
         sim::Tick start;
+        /** Fault mode: peer this request waits on (-1 = none); death of
+         *  that peer triggers a retry at this, the initial node. */
+        int awaitingNode = -1;
+        int retries = 0;
     };
 
     /** How loadChanged() publishes this node's load; fixed at
@@ -196,6 +253,58 @@ class PressServer
     void emitLoadWave(int current);
     void emitCachingWave(storage::FileId file, bool cached);
 
+    // --- fault recovery ----------------------------------------------
+
+    /**
+     * Merge a membership change into the view; on acceptance trace it,
+     * run the matching comm/directory transition and recovery, and
+     * (when @p relay) disseminate it onward per the configured kind.
+     */
+    void applyMembership(int subject, fault::NodeState state,
+                         std::uint32_t epoch, int origin, int hops,
+                         bool relay);
+
+    /** Push an accepted membership change to peers: unicast flood for
+     *  the paper's strategies, fanout samples for Gossip, source-rooted
+     *  subtrees for Tree. */
+    void disseminateMembership(const MembershipMsg &msg);
+
+    /** @p peer is confirmed Dead/Left: repair directories, mark its
+     *  load unusable, re-announce shard-handoff files, retry pending
+     *  requests that waited on it. */
+    void recoverFromDeath(int peer);
+
+    /** @p peer came back Alive: reset its load, re-announce cached
+     *  files it should know about (shard handback / directory warm). */
+    void recoverFromRejoin(int peer);
+
+    /** Re-dispatch a retried request (scheduled after backoff). */
+    void retryNow(std::uint32_t tag);
+
+    /** Record which peer a pending request waits on (no-op unless the
+     *  fault machinery is active; -1 clears). */
+    void noteAwaiting(std::uint32_t tag, int peer);
+
+    /** Nodes currently believed Alive (fault mode only). */
+    NodeMask aliveMask() const;
+
+    /** Shared crash/leave teardown: drop all volatile state (pending
+     *  requests, cache, directories, load counters) and take the comm
+     *  endpoint down. */
+    void teardownVolatile();
+
+    /** Shard handoff: re-announce resident files whose shard owner
+     *  differs between the @p before and @p after alive sets (capped
+     *  at FaultPlan::announceCap). */
+    void reannounceMovedShards(const NodeMask &before,
+                               const NodeMask &after);
+
+    /** Fault mode: true when @p node may be given new work. */
+    bool nodeUsable(int node) const
+    {
+        return !_faultActive || _view->aliveNode(node);
+    }
+
     /** Insert @p file into the cache: bookkeeping, V5 registration,
      *  caching-information broadcasts. */
     void insertIntoCache(storage::FileId file);
@@ -243,6 +352,14 @@ class PressServer
     obs::Counter *_repliesMetric = nullptr;
     obs::Counter *_forwardsMetric = nullptr;
     stats::LogHistogram *_latencyMetric = nullptr;
+
+    bool _faultActive = false; ///< enableFaultMode() was called
+    bool _crashed = false;     ///< this node is currently down
+    std::unique_ptr<fault::MembershipView> _view;
+    /** Highest leave epoch already hard-torn-down, per peer: the rumor
+     *  path and the pre-scheduled peerLeftTeardown() both lead here,
+     *  and the teardown must run exactly once per departure. */
+    std::vector<std::uint32_t> _leftTeardown;
 
     sim::Tick _statsEpoch = 0;
     int _openConnections = 0;

@@ -91,12 +91,27 @@ TcpComm::sendFile(int dst, const FileMsg &msg)
 }
 
 void
+TcpComm::sendMembership(int dst, const MembershipMsg &msg)
+{
+    sendWire(dst, MsgKind::Membership,
+             _cal.sizes.caching + _cal.sizes.disseminationHeader, msg);
+}
+
+void
 TcpComm::sendWire(int dst, MsgKind kind, std::uint64_t logical_bytes,
                   Body body)
 {
     PRESS_ASSERT(dst >= 0 && dst < static_cast<int>(_channelTo.size()) &&
                      dst != _node,
                  "bad destination ", dst);
+    if (!peerReachable(dst)) {
+        // TCP analogue of a crashed peer: the connect/send attempt eats
+        // the send-path CPU and comes back with RST/timeout — the
+        // message never reaches a handler.
+        countDroppedSend();
+        _cpu.submit(_cal.tcp.serverSend, CatIntraComm, []() {});
+        return;
+    }
     tcpnet::TcpChannel *channel = _channelTo[dst];
     PRESS_ASSERT(channel, "mesh not connected");
 
@@ -114,7 +129,11 @@ TcpComm::sendWire(int dst, MsgKind kind, std::uint64_t logical_bytes,
     // the kernel stack takes over inside TcpChannel::send.
     net::Payload payload = net::makePayload<WireMsg>(std::move(w));
     _cpu.submit(_cal.tcp.serverSend, CatIntraComm,
-                [channel, logical_bytes, payload]() {
+                [this, dst, channel, logical_bytes, payload]() {
+                    if (!peerReachable(dst)) {
+                        countDroppedSend();
+                        return;
+                    }
                     channel->send(logical_bytes, payload);
                 });
 }
@@ -122,6 +141,11 @@ TcpComm::sendWire(int dst, MsgKind kind, std::uint64_t logical_bytes,
 void
 TcpComm::handleArrival(const net::Payload &payload)
 {
+    if (_selfDown) {
+        // Crashed node: bytes in flight die with the connection.
+        countRxError();
+        return;
+    }
     // Kernel receive costs were charged by the stack; add the PRESS
     // receive-thread path, then hand the message to the server.
     _cpu.submit(_cal.tcp.serverRecv, CatIntraComm, [this, payload]() {

@@ -52,6 +52,7 @@ class TcpComm : public ClusterComm
     void sendLoadDigest(int dst, const LoadDigestMsg &msg) override;
     void sendCachingDigest(int dst, const CachingDigestMsg &msg) override;
     void sendFile(int dst, const FileMsg &msg) override;
+    void sendMembership(int dst, const MembershipMsg &msg) override;
 
     const tcpnet::TcpStack &stack() const { return _stack; }
 

@@ -275,20 +275,23 @@ ViaComm::setTracer(obs::Tracer *tracer, int node)
 {
     ClusterComm::setTracer(tracer, node);
     // Stalls are per (peer, channel): each gate gets its own observer so
-    // the trace says which window ran dry.
+    // the trace says which window ran dry. The counter reference is
+    // resolved here, while setup is single-threaded: the registry's
+    // lazy name->slot insert is not safe from concurrent shard workers
+    // (the slot itself is, once it exists — vectors are sized once).
+    obs::Counter *stalls =
+        tracer ? &tracer->metrics().counter("comm.stalls", node) : nullptr;
     for (auto &peer : _peers) {
         if (!peer)
             continue;
-        auto stall = [this, tracer, node](FlowChannel channel) {
+        auto stall = [tracer, node, stalls](FlowChannel channel) {
             CreditGate::StallObserver observer;
             if (tracer)
-                observer = [tracer, node, channel]() {
+                observer = [tracer, node, channel, stalls]() {
                     tracer->instant(
                         node, obs::Ev::CommStall, 0,
                         static_cast<std::uint64_t>(channel));
-                    tracer->metrics()
-                        .counter("comm.stalls", node)
-                        .add();
+                    stalls->add();
                 };
             return observer;
         };
@@ -467,9 +470,35 @@ ViaComm::sendFile(int dst, const FileMsg &msg)
 }
 
 void
+ViaComm::sendMembership(int dst, const MembershipMsg &msg)
+{
+    WireMsg w;
+    w.kind = MsgKind::Membership;
+    w.from = _node;
+    w.piggyLoad = piggyLoad();
+    w.body = msg;
+    // Same footprint as a caching rumor: a short control record plus
+    // the dissemination header (origin/seq/hops).
+    std::uint64_t bytes =
+        _cal.sizes.caching + _cal.sizes.disseminationHeader;
+    // Rides the caching channel's resources (ring + window) when that
+    // channel is RMW: membership traffic exists only during churn and
+    // must not need rings of its own.
+    if (usesRmw(MsgKind::Caching))
+        sendRmwControl(dst, MsgKind::Membership, bytes, std::move(w));
+    else
+        sendRegular(dst, MsgKind::Membership, bytes, std::move(w),
+                    /*gated=*/true);
+}
+
+void
 ViaComm::sendRegular(int dst, MsgKind kind, std::uint64_t logical_bytes,
                      WireMsg w, bool gated)
 {
+    if (!peerReachable(dst)) {
+        countDroppedSend();
+        return;
+    }
     Peer &peer = *_peers.at(dst);
     if (w.piggyLoad >= 0)
         logical_bytes += 4;
@@ -481,6 +510,10 @@ ViaComm::sendRegular(int dst, MsgKind kind, std::uint64_t logical_bytes,
         _cpu.submit(cpu_cost, CatIntraComm,
                     [this, &peer, logical_bytes, payload]() {
                         drainSendCq();
+                        if (!peerReachable(peer.id)) {
+                            countDroppedSend();
+                            return;
+                        }
                         bool ok = peer.vi->postSend(via::makeSend(
                             peer.staging.base, logical_bytes, payload));
                         PRESS_ASSERT(ok, "send queue overflow despite "
@@ -497,6 +530,10 @@ void
 ViaComm::sendRmwControl(int dst, MsgKind kind,
                         std::uint64_t logical_bytes, WireMsg w)
 {
+    if (!peerReachable(dst)) {
+        countDroppedSend();
+        return;
+    }
     Peer &peer = *_peers.at(dst);
     if (w.piggyLoad >= 0)
         logical_bytes += 4;
@@ -516,6 +553,10 @@ ViaComm::sendRmwControl(int dst, MsgKind kind,
                     CatIntraComm, [this, &peer, slot, logical_bytes,
                                    payload]() {
                         drainSendCq();
+                        if (!peerReachable(peer.id)) {
+                            countDroppedSend();
+                            return;
+                        }
                         bool ok = peer.vi->postSend(via::makeRdmaWrite(
                             peer.staging.base, logical_bytes, slot,
                             payload));
@@ -529,6 +570,10 @@ void
 ViaComm::sendRmwWord(int dst, MsgKind kind, std::uint64_t logical_bytes,
                      WireMsg w)
 {
+    if (!peerReachable(dst)) {
+        countDroppedSend();
+        return;
+    }
     Peer &peer = *_peers.at(dst);
     recordSend(kind, logical_bytes);
 
@@ -547,6 +592,10 @@ ViaComm::sendRmwWord(int dst, MsgKind kind, std::uint64_t logical_bytes,
                 [this, &peer, target,
                  payload = net::makePayload<WireMsg>(std::move(w))]() {
                     drainSendCq();
+                    if (!peerReachable(peer.id)) {
+                        countDroppedSend();
+                        return;
+                    }
                     bool ok = peer.vi->postSend(via::makeRdmaWrite(
                         peer.staging.base, 4, target, payload));
                     PRESS_ASSERT(ok, "word write overflow");
@@ -556,6 +605,10 @@ ViaComm::sendRmwWord(int dst, MsgKind kind, std::uint64_t logical_bytes,
 void
 ViaComm::sendRmwFile(int dst, std::uint64_t file_bytes, WireMsg w)
 {
+    if (!peerReachable(dst)) {
+        countDroppedSend();
+        return;
+    }
     Peer &peer = *_peers.at(dst);
     bool zero_copy_tx = _config.version == Version::V5;
 
@@ -582,6 +635,10 @@ ViaComm::sendRmwFile(int dst, std::uint64_t file_bytes, WireMsg w)
                     [this, &peer, data_addr, meta_addr, file_bytes,
                      meta_bytes, payload]() {
                         drainSendCq();
+                        if (!peerReachable(peer.id)) {
+                            countDroppedSend();
+                            return;
+                        }
                         // Data first, then metadata; same VI, so VIA's
                         // in-order delivery publishes them in order.
                         bool ok1 = peer.vi->postSend(via::makeRdmaWrite(
@@ -631,10 +688,16 @@ void
 ViaComm::processRegular(via::DescriptorPtr desc,
                         via::VirtualInterface *vi)
 {
-    PRESS_ASSERT(desc->status == via::Status::Complete,
-                 "regular receive failed: flow control must prevent "
-                 "overruns (status ",
-                 static_cast<int>(desc->status), ")");
+    if (desc->status != via::Status::Complete) {
+        // A connection teardown drained this pre-posted buffer; drop
+        // it. The descriptor is re-posted when the peer end revives.
+        PRESS_ASSERT(desc->status == via::Status::ErrorFlushed,
+                     "regular receive failed: flow control must "
+                     "prevent overruns (status ",
+                     static_cast<int>(desc->status), ")");
+        countRxError();
+        return;
+    }
 
     // Identify the sender by the VI the message came in on.
     int from = -1;
@@ -786,9 +849,99 @@ void
 ViaComm::drainSendCq()
 {
     while (auto c = _sendCq->poll()) {
-        PRESS_ASSERT(c->desc->status == via::Status::Complete,
+        if (c->desc->status == via::Status::Complete)
+            continue;
+        // A send racing a connection teardown errors back instead of
+        // arriving; the message is lost with the peer.
+        PRESS_ASSERT(c->desc->status == via::Status::ErrorDisconnected ||
+                         c->desc->status == via::Status::ErrorFlushed,
                      "intra-cluster send failed with status ",
                      static_cast<int>(c->desc->status));
+        countDroppedSend();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault transitions
+// ---------------------------------------------------------------------
+
+void
+ViaComm::resetPeerFlow(Peer &peer)
+{
+    peer.regularGate.reset();
+    peer.forwardGate.reset();
+    peer.cachingGate.reset();
+    peer.fileGate.reset();
+    peer.regularReturn->reset();
+    peer.forwardReturn->reset();
+    peer.cachingReturn->reset();
+    peer.fileReturn->reset();
+    peer.forwardSeq = 0;
+    peer.cachingSeq = 0;
+    peer.fileSeq = 0;
+}
+
+void
+ViaComm::repostRecvs(Peer &peer)
+{
+    if (!_recvThreadNeeded)
+        return;
+    int prepost = _config.controlWindow + FlowReserve;
+    for (int k = 0; k < prepost; ++k) {
+        bool ok = peer.vi->postRecv(
+            via::makeRecv(peer.recvBufs.base, _maxTransfer + 64));
+        PRESS_ASSERT(ok, "recv queue overflow on reconnect");
+    }
+}
+
+void
+ViaComm::peerDown(int peer_id)
+{
+    ClusterComm::peerDown(peer_id);
+    Peer *p = _peers.at(peer_id).get();
+    if (!p || !p->vi || p->vi->broken())
+        return;
+    // Tear down this end only: posted receive buffers drain with
+    // ErrorFlushed (drainRecvCq drops them), queued sends are
+    // discarded, windows restore for the eventual reconnect.
+    p->vi->breakLocal();
+    resetPeerFlow(*p);
+}
+
+void
+ViaComm::peerUp(int peer_id)
+{
+    ClusterComm::peerUp(peer_id);
+    Peer *p = _peers.at(peer_id).get();
+    if (!p || !p->vi || !p->vi->broken())
+        return;
+    p->vi->revive();
+    resetPeerFlow(*p);
+    repostRecvs(*p);
+}
+
+void
+ViaComm::selfDown()
+{
+    ClusterComm::selfDown();
+    for (auto &p : _peers) {
+        if (!p || !p->vi || p->vi->broken())
+            continue;
+        p->vi->breakLocal();
+        resetPeerFlow(*p);
+    }
+}
+
+void
+ViaComm::selfUp()
+{
+    ClusterComm::selfUp();
+    for (auto &p : _peers) {
+        if (!p || !p->vi || !p->vi->broken())
+            continue;
+        p->vi->revive();
+        resetPeerFlow(*p);
+        repostRecvs(*p);
     }
 }
 

@@ -87,7 +87,15 @@ class ViaComm : public ClusterComm
     void sendLoadDigest(int dst, const LoadDigestMsg &msg) override;
     void sendCachingDigest(int dst, const CachingDigestMsg &msg) override;
     void sendFile(int dst, const FileMsg &msg) override;
+    void sendMembership(int dst, const MembershipMsg &msg) override;
     void fileBufferDone(int from) override;
+
+    // Fault transitions (see ClusterComm): VI teardown/revival plus
+    // flow-control window resets.
+    void peerDown(int peer) override;
+    void peerUp(int peer) override;
+    void selfDown() override;
+    void selfUp() override;
 
     sim::Tick cacheInsertCost(std::uint64_t bytes) const override;
     sim::Tick cacheEvictCost(std::uint64_t bytes) const override;
@@ -150,6 +158,13 @@ class ViaComm : public ClusterComm
     /** Credit-return helpers. */
     void returnCredits(int dst, int n, FlowChannel channel);
     void creditArrived(int from, const FlowMsg &flow);
+
+    /** Discard queued sends toward @p peer and restore full windows
+     *  (connection teardown / re-establishment). */
+    void resetPeerFlow(Peer &peer);
+
+    /** Re-post the pre-posted receive descriptors toward @p peer. */
+    void repostRecvs(Peer &peer);
 
     sim::Tick copyCost(std::uint64_t bytes) const;
 

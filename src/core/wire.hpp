@@ -20,7 +20,7 @@ struct WireMsg {
     int from = -1;
     int piggyLoad = -1;
     std::variant<LoadMsg, FlowMsg, ForwardMsg, CachingMsg, FileMsg,
-                 LoadDigestMsg, CachingDigestMsg>
+                 LoadDigestMsg, CachingDigestMsg, MembershipMsg>
         body;
 };
 

@@ -25,6 +25,10 @@ trackOf(Ev code)
       case Ev::ReqService:
       case Ev::ReqDispatch:
       case Ev::ReqReply:
+      case Ev::NodeCrashed:
+      case Ev::NodeSuspected:
+      case Ev::ViewChanged:
+      case Ev::RequestRetried:
         return TrackRequests;
       case Ev::CommSend:
       case Ev::CommRecv:

@@ -48,6 +48,14 @@ enum class Ev : std::uint16_t {
     CpuDepth,  ///< counter; arg = queue depth including in-service job
     DiskDepth, ///< counter; arg likewise
 
+    // ---- fault tolerance (membership and recovery) ----
+    NodeCrashed,    ///< instant on the crashing node; arg = fault epoch
+    NodeSuspected,  ///< instant on the suspecting node; arg =
+                    ///< packKindBytes(subject, epoch)
+    ViewChanged,    ///< instant: a membership update was accepted;
+                    ///< arg = packKindBytes(subject, epoch)
+    RequestRetried, ///< instant on the retrying node; arg = attempt #
+
     NumEv,
 };
 

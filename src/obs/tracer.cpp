@@ -38,6 +38,14 @@ evName(Ev code)
         return "cpu.depth";
       case Ev::DiskDepth:
         return "disk.depth";
+      case Ev::NodeCrashed:
+        return "node.crashed";
+      case Ev::NodeSuspected:
+        return "node.suspected";
+      case Ev::ViewChanged:
+        return "view.changed";
+      case Ev::RequestRetried:
+        return "request.retried";
       case Ev::NumEv:
         break;
     }

@@ -74,4 +74,14 @@ FileCache::lruFile() const
     return _lru.empty() ? InvalidFile : _lru.back().file;
 }
 
+std::vector<FileCache::Resident>
+FileCache::snapshot() const
+{
+    std::vector<Resident> out;
+    out.reserve(_lru.size());
+    for (const Entry &e : _lru)
+        out.push_back({e.file, e.size});
+    return out;
+}
+
 } // namespace press::storage

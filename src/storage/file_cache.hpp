@@ -62,6 +62,19 @@ class FileCache
     /** Least-recently-used resident file; InvalidFile when empty. */
     FileId lruFile() const;
 
+    /** One resident file, as reported by snapshot(). */
+    struct Resident {
+        FileId file;
+        std::uint32_t size;
+    };
+
+    /**
+     * Every resident file, most-recently-used first (deterministic:
+     * LRU order, not hash order). Fault recovery re-announces these to
+     * rebuilt directories.
+     */
+    std::vector<Resident> snapshot() const;
+
   private:
     struct Entry {
         FileId file;

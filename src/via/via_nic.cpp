@@ -1,3 +1,4 @@
+#include <cstdio>
 #include "via_nic.hpp"
 
 #include "util/logging.hpp"

@@ -80,6 +80,26 @@ class VirtualInterface
     ViaNic &nic() const { return _nic; }
     int id() const { return _id; }
 
+    /**
+     * Tear down this end only (peer crash semantics): the connection is
+     * marked broken and every posted receive buffer drains with
+     * ErrorFlushed. The peer end is untouched — a crashed node cannot
+     * reach over and mutate survivor state; each end learns of the
+     * death in its own domain. In-flight sends toward a broken end
+     * complete on the sender with ErrorDisconnected (via_nic arrival
+     * paths).
+     */
+    void
+    breakLocal()
+    {
+        markBroken();
+        flushRecvQueue();
+    }
+
+    /** Undo breakLocal() after the peer restarts. The VI pair was never
+     *  unlinked, so clearing the flag restores the channel. */
+    void revive() { _broken = false; }
+
   private:
     friend class ViaNic;
 

@@ -426,3 +426,58 @@ TEST(ViaChecker, CheckerOffMeansNoChecker)
     cluster.run();
     EXPECT_EQ(cluster.viaChecker(), nullptr);
 }
+
+// ---------------------------------------------------------------------
+// Connection-loss vocabulary (fault subsystem)
+// ---------------------------------------------------------------------
+
+TEST(ViaChecker, PostToDeadViDetected)
+{
+    Harness h;
+    auto *va = h.pair();
+    auto src = h.nicA.registerMemory(256);
+
+    va->breakLocal(); // peer crashed: endpoint torn down
+    va->postSend(via::makeSend(src.base, 256));
+
+    EXPECT_GE(h.checker.count(Violation::Kind::PostToDeadVi), 1u);
+    ASSERT_FALSE(h.checker.violations().empty());
+    const Violation &v = h.checker.violations().front();
+    EXPECT_EQ(v.kind, Violation::Kind::PostToDeadVi);
+    EXPECT_EQ(v.node, 0);
+}
+
+TEST(ViaChecker, PostRecvOnDeadViDetected)
+{
+    Harness h;
+    via::VirtualInterface *vb = nullptr;
+    h.pair(&vb);
+    auto dst = h.nicB.registerMemory(256);
+
+    vb->breakLocal();
+    vb->postRecv(via::makeRecv(dst.base, 256));
+
+    EXPECT_GE(h.checker.count(Violation::Kind::PostToDeadVi), 1u);
+    EXPECT_EQ(h.checker.violations().front().node, 1);
+}
+
+TEST(ViaChecker, ErrorCompletionDrainIsClean)
+{
+    // The legitimate VIA disconnect vocabulary: receives posted before
+    // the teardown drain with ErrorFlushed and in-flight sends toward
+    // the broken end complete with ErrorDisconnected. Neither is a
+    // protocol violation — only *new* posts on the dead VI are.
+    Harness h;
+    via::VirtualInterface *vb = nullptr;
+    auto *va = h.pair(&vb);
+    auto src = h.nicA.registerMemory(256);
+    auto dst = h.nicB.registerMemory(256);
+
+    vb->postRecv(via::makeRecv(dst.base, 256));
+    va->postSend(via::makeSend(src.base, 256));
+    vb->breakLocal(); // recv drains ErrorFlushed, send completes
+                      // ErrorDisconnected on arrival
+    h.sim.run();
+
+    EXPECT_TRUE(h.checker.clean()) << h.checker.report();
+}
