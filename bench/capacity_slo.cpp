@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Extension (X11): SLO capacity under shaped open-loop traffic.
+ *
+ * The paper's figures replay traces in closed loop, which measures
+ * saturation throughput but says nothing about what rate the cluster
+ * can *accept* while still answering promptly. This bench offers each
+ * traffic scenario (steady Poisson, diurnal swing, flash crowd,
+ * HTTP/1.1 keep-alive sessions, dynamic-content mix) at a ladder of
+ * rates and reports, per cell, the offered vs. achieved rate, shed
+ * arrivals, client in-flight depth, and p50/p99/p999 latency. The
+ * capacity knee of a scenario is the highest rung whose achieved rate
+ * stays within 5% of the offered rate with nothing dropped.
+ *
+ * Contracts (exit nonzero on violation):
+ *  - no holes: every rung below a scenario's knee also meets its
+ *    offered rate — a miss below the knee means the sweep is not
+ *    measuring a capacity frontier but noise;
+ *  - the flash-crowd scenario crosses the T = 80 overload-replication
+ *    pivot (ClusterResults::overloadServes > 0 somewhere): a flash
+ *    sweep that never triggers replication is not exercising the
+ *    mechanism this bench exists to characterize.
+ *
+ * The rate ladder is anchored to the analytical model's predicted
+ * saturation throughput (Section 4, an upper bound under perfect
+ * balance), and the knee table reports the measured-vs-model error —
+ * the same cross-check model_validation runs for closed-loop figures.
+ *
+ * Output is byte-identical across --jobs and, for threads >= 1, across
+ * --threads counts: arrivals are counter-based (see traffic/) and the
+ * ParallelRunner returns results in grid order.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "model/press_model.hpp"
+#include "traffic/traffic_model.hpp"
+#include "util/cli.hpp"
+
+using namespace press;
+using namespace press::bench;
+using namespace press::core;
+
+namespace {
+
+struct SloOptions {
+    int nodes = 4;
+    std::uint64_t requests = 24000; ///< arrivals per cell
+    int jobs = 0;
+    int threads = 0;
+    bool quick = false;
+};
+
+SloOptions
+parseArgs(int argc, char **argv)
+{
+    // Hand-rolled: Options::parse dies on flags it does not know.
+    SloOptions o;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--nodes") {
+            o.nodes =
+                static_cast<int>(util::cliInt(argc, argv, i, 2, 256));
+        } else if (a == "--requests") {
+            o.requests = util::cliU64(argc, argv, i);
+        } else if (a == "--jobs") {
+            o.jobs = static_cast<int>(util::cliInt(argc, argv, i, 0, 256));
+        } else if (a == "--threads") {
+            o.threads =
+                static_cast<int>(util::cliInt(argc, argv, i, 0, 64));
+        } else if (a == "--quick") {
+            o.quick = true;
+            o.requests = 8000;
+        } else if (a == "--help") {
+            std::cout << "usage: capacity_slo [--nodes N] [--requests R] "
+                         "[--jobs J] [--threads T] [--quick]\n"
+                         "Sweeps the five traffic scenarios over a rate "
+                         "ladder anchored to the model's\npredicted "
+                         "capacity and reports each scenario's SLO knee.\n";
+            std::exit(0);
+        } else {
+            util::fatal("unknown option '", a, "' (try --help)");
+        }
+    }
+    return o;
+}
+
+struct Scenario {
+    const char *name;
+    traffic::TrafficModel (*make)(double rate);
+};
+
+/** Offered request rate a cell's curve averages over its arrival
+ *  horizon (equals the rung rate for flat scenarios; higher for the
+ *  flash spike, whose curve packs extra mass into the spike). */
+double
+nominalRate(const traffic::TrafficModel &tm, std::uint64_t requests)
+{
+    sim::Tick horizon =
+        tm.curve.invert(static_cast<double>(requests));
+    return static_cast<double>(requests) / sim::nsToSeconds(horizon);
+}
+
+bool
+meetsSlo(const ClusterResults &r, double nominal)
+{
+    return r.droppedRequests == 0 && r.throughput >= 0.95 * nominal;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SloOptions slo = parseArgs(argc, argv);
+
+    Options opts;
+    opts.nodes = slo.nodes;
+    opts.jobs = slo.jobs;
+    opts.threads = slo.threads;
+    opts.quick = slo.quick;
+    opts.maxRequests = slo.requests;
+
+    // The same small-catalog synthetic workload the traffic tests
+    // validate against: the 8 MB caches keep a disk component in the
+    // knee, and the cold tail gives the flash crowd content the caches
+    // have not absorbed.
+    workload::TraceSpec spec;
+    spec.name = "slo-synth";
+    spec.numFiles = 200 * static_cast<std::size_t>(slo.nodes);
+    spec.numRequests = 40 * slo.requests / 10; // feed: warm-up + rungs
+    spec.avgFileSize = 12000;
+    spec.avgRequestSize = 9000;
+    spec.seed = 5;
+    workload::Trace trace = workload::generateTrace(spec);
+
+    const std::uint64_t cache_bytes = 8 * util::MB;
+
+    // Anchor the ladder to the model's predicted saturation point for
+    // this communication scheme (VIA with RMW + zero-copy = V5).
+    model::ModelParams mp = model::ModelParams::viaRmwZc();
+    mp.cacheBytes = static_cast<double>(cache_bytes);
+    mp.avgFileBytes = static_cast<double>(spec.avgFileSize);
+    model::PressModel model(mp);
+    const double model_knee =
+        model.predictFromPopulation(slo.nodes,
+                                    static_cast<double>(spec.numFiles))
+            .throughput;
+
+    std::vector<double> ladder;
+    for (double f : slo.quick ? std::vector<double>{0.35, 1.1}
+                              : std::vector<double>{0.3, 0.5, 0.7, 0.9,
+                                                    1.1})
+        ladder.push_back(f * model_knee);
+
+    const std::vector<Scenario> scenarios = {
+        {"steady", traffic::steadyScenario},
+        {"diurnal", traffic::diurnalScenario},
+        {"flash", traffic::flashScenario},
+        {"keepalive", traffic::keepAliveScenario},
+        {"dynmix", traffic::dynamicMixScenario},
+    };
+
+    std::cout << "== SLO capacity: " << scenarios.size()
+              << " scenarios x " << ladder.size() << " rates on "
+              << slo.nodes << " nodes (model knee "
+              << util::fmtF(model_knee, 0) << " req/s) ==\n";
+
+    ParallelRunner runner(opts);
+    for (const auto &s : scenarios)
+        for (double rate : ladder) {
+            Cell cell;
+            cell.trace = &trace;
+            cell.config.protocol = Protocol::ViaClan;
+            cell.config.version = Version::V5;
+            cell.config.clientMode = PressConfig::ClientMode::OpenLoop;
+            cell.config.cacheBytes = cache_bytes;
+            cell.config.clientsPerNode = 44;
+            cell.config.warmupFraction = 0.3;
+            cell.config.traffic = s.make(rate);
+            cell.nodes = slo.nodes;
+            cell.maxRequests = slo.requests;
+            runner.add(std::move(cell));
+        }
+    runner.run();
+
+    util::TextTable t;
+    t.header({"scenario", "offered/s", "achieved/s", "dropped",
+              "inflight", "p50 ms", "p99 ms", "p999 ms", "overload",
+              "slo"});
+    bool hole = false;
+    std::uint64_t flash_overload = 0;
+    std::vector<double> knees(scenarios.size(), 0.0);
+    for (std::size_t si = 0; si < scenarios.size(); ++si) {
+        // The knee is the highest rung meeting the SLO with every rung
+        // below it passing too; a pass above a fail is a hole.
+        bool below_ok = true;
+        for (std::size_t ri = 0; ri < ladder.size(); ++ri) {
+            const auto &r = runner[si * ladder.size() + ri];
+            traffic::TrafficModel tm = scenarios[si].make(ladder[ri]);
+            double nominal = nominalRate(tm, slo.requests);
+            bool ok = meetsSlo(r, nominal);
+            if (ok && below_ok)
+                knees[si] = nominal;
+            if (ok && !below_ok)
+                hole = true;
+            below_ok = below_ok && ok;
+            if (std::string(scenarios[si].name) == "flash")
+                flash_overload += r.overloadServes;
+            t.row({scenarios[si].name, util::fmtF(nominal, 0),
+                   util::fmtF(r.throughput, 0),
+                   std::to_string(r.droppedRequests),
+                   std::to_string(r.inFlightPeak),
+                   util::fmtF(r.p50LatencyMs, 1),
+                   util::fmtF(r.p99LatencyMs, 1),
+                   util::fmtF(r.p999LatencyMs, 1),
+                   std::to_string(r.overloadServes),
+                   ok ? "pass" : "MISS"});
+        }
+    }
+    std::cout << t.render();
+
+    util::TextTable k;
+    k.header({"scenario", "knee/s", "model/s", "error"});
+    for (std::size_t si = 0; si < scenarios.size(); ++si) {
+        double err = knees[si] > 0
+                         ? (knees[si] - model_knee) / model_knee
+                         : -1.0;
+        k.row({scenarios[si].name,
+               knees[si] > 0 ? util::fmtF(knees[si], 0) : "below ladder",
+               util::fmtF(model_knee, 0),
+               knees[si] > 0 ? util::fmtPct(err) : "n/a"});
+    }
+    std::cout << "\n" << k.render();
+    std::cout << "\nknee = highest offered rate with achieved >= 95% of "
+                 "offered and zero drops;\nmodel = Section 4 saturation "
+                 "bound (perfect balance, cost-free distribution).\n"
+                 "Flat scenarios land within ~10% of it; the flash knee "
+                 "sits furthest below —\nits spike packs 3x the base "
+                 "rate of cold-tail content into one second.\n";
+
+    const char *json_path = "BENCH_slo.json";
+    std::ofstream json(json_path);
+    if (!json) {
+        std::cerr << "cannot write " << json_path << "\n";
+        return 1;
+    }
+    json << "{\n  \"benchmark\": \"capacity_slo\",\n"
+         << "  \"trace\": \"" << trace.name << "\",\n"
+         << "  \"nodes\": " << slo.nodes << ",\n"
+         << "  \"requests_per_cell\": " << slo.requests << ",\n"
+         << "  \"model_knee\": " << model_knee << ",\n  \"cells\": [";
+    for (std::size_t si = 0; si < scenarios.size(); ++si)
+        for (std::size_t ri = 0; ri < ladder.size(); ++ri) {
+            const auto &r = runner[si * ladder.size() + ri];
+            traffic::TrafficModel tm = scenarios[si].make(ladder[ri]);
+            double nominal = nominalRate(tm, slo.requests);
+            json << (si + ri ? ",\n" : "\n") << "    {\"scenario\": \""
+                 << scenarios[si].name << "\", \"curve\": \""
+                 << tm.curve.spec() << "\", \"offered\": " << nominal
+                 << ", \"achieved\": " << r.throughput
+                 << ", \"offered_requests\": " << r.offeredRequests
+                 << ", \"dropped\": " << r.droppedRequests
+                 << ", \"inflight_peak\": " << r.inFlightPeak
+                 << ", \"p50_ms\": " << r.p50LatencyMs
+                 << ", \"p99_ms\": " << r.p99LatencyMs
+                 << ", \"p999_ms\": " << r.p999LatencyMs
+                 << ", \"overload_serves\": " << r.overloadServes
+                 << ", \"sessions\": " << r.sessionsClosed
+                 << ", \"keepalive\": " << r.keepAliveRequests
+                 << ", \"dynamic\": " << r.dynamicRequests
+                 << ", \"slo\": " << (meetsSlo(r, nominal) ? "true"
+                                                           : "false")
+                 << "}";
+        }
+    json << "\n  ],\n  \"knees\": {";
+    for (std::size_t si = 0; si < scenarios.size(); ++si)
+        json << (si ? ", " : "") << "\"" << scenarios[si].name
+             << "\": " << knees[si];
+    json << "}\n}\n";
+    json.close();
+    std::cout << "written: " << json_path << "\n";
+
+    if (hole) {
+        std::cerr << "FAIL: a rung below a scenario's knee missed its "
+                     "offered rate\n";
+        return 1;
+    }
+    if (flash_overload == 0) {
+        std::cerr << "FAIL: the flash-crowd sweep never crossed the "
+                     "T = 80 overload pivot\n";
+        return 1;
+    }
+    return 0;
+}

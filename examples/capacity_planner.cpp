@@ -8,19 +8,103 @@
  * operator knows the workload (population, file sizes) and asks for
  * the smallest deployment that sustains the load.
  *
+ * With --simulate, the plan is checked against the simulator: the
+ * model's predicted capacity for a small deployment is probed with
+ * open-loop traffic at 0.6x, 0.9x, and 1.2x the prediction, and the
+ * planner reports whether the cluster actually holds each rate. A plan
+ * is only as good as the model behind it; this is the one-command way
+ * to see how much headroom to leave.
+ *
  * Usage: capacity_planner [--target REQS] [--files F] [--file-kb S]
+ *                         [--simulate [--nodes N]]
  */
 
+#include <algorithm>
 #include <cstring>
 #include <iostream>
+#include <vector>
 
+#include "core/cluster.hpp"
 #include "model/press_model.hpp"
+#include "traffic/traffic_model.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
+#include "workload/trace_gen.hpp"
 
 using namespace press;
 using namespace press::model;
+
+namespace {
+
+/**
+ * Probe the simulator at fractions of the model's predicted capacity
+ * and print predicted-vs-measured. The workload mirrors the model
+ * inputs (same catalog size, file size, Zipf exponent), so the only
+ * gap between the columns is what the model abstracts away: imperfect
+ * balance, distribution costs, and queueing.
+ */
+void
+simulatePlan(int nodes, double files, double file_kb)
+{
+    ModelParams mp = ModelParams::viaRmwZc();
+    mp.avgFileBytes = file_kb * 1000.0;
+    const double predicted =
+        PressModel(mp).predictFromPopulation(nodes, files).throughput;
+
+    workload::TraceSpec spec;
+    spec.name = "planner-synth";
+    spec.numFiles = static_cast<std::size_t>(files);
+    spec.avgFileSize = mp.avgFileBytes;
+    spec.numRequests = 120000;
+    spec.seed = 11;
+    workload::Trace trace = workload::generateTrace(spec);
+
+    std::cout << "-- simulation probe (VIA RMW+0cp, " << nodes
+              << " nodes, model predicts " << util::fmtF(predicted, 0)
+              << " req/s) --\n";
+    util::TextTable t;
+    t.header({"offered x", "offered/s", "achieved/s", "p50 ms", "p99 ms",
+              "held"});
+    double peak = 0;
+    bool all_held = true;
+    for (double frac : {0.6, 0.9, 1.2}) {
+        core::PressConfig config;
+        config.protocol = core::Protocol::ViaClan;
+        config.version = core::Version::V5;
+        config.nodes = nodes;
+        config.clientMode = core::PressConfig::ClientMode::OpenLoop;
+        config.clientsPerNode = 44;
+        config.warmupFraction = 0.3;
+        config.traffic = traffic::steadyScenario(frac * predicted);
+        core::PressCluster cluster(config, trace);
+        core::ClusterResults r = cluster.run(24000);
+        bool held = r.droppedRequests == 0 &&
+                    r.throughput >= 0.95 * frac * predicted;
+        peak = std::max(peak, r.throughput);
+        all_held = all_held && held;
+        t.row({util::fmtF(frac, 1), util::fmtF(frac * predicted, 0),
+               util::fmtF(r.throughput, 0), util::fmtF(r.p50LatencyMs, 1),
+               util::fmtF(r.p99LatencyMs, 1), held ? "yes" : "NO"});
+    }
+    std::cout << t.render();
+    if (all_held)
+        std::cout << "every probe held: measured capacity is at least "
+                     "1.2x the prediction\n";
+    else
+        std::cout << "measured capacity ~" << util::fmtF(peak, 0)
+                  << " req/s vs " << util::fmtF(predicted, 0)
+                  << " predicted ("
+                  << util::fmtPct(peak / predicted - 1.0) << ")\n";
+    std::cout << "held = achieved within 5% of offered with no arrivals "
+                 "shed. The model is an\nupper bound (perfect balance, "
+                 "cost-free distribution, no queueing): plans near\na "
+                 "CPU- or network-bound knee need ~10% headroom, "
+                 "disk-bound plans far more —\nthe model prices a miss "
+                 "at one disk service, the simulator makes it queue.\n\n";
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -28,6 +112,8 @@ main(int argc, char **argv)
     double target = 20000; // req/s
     double files = 100000;
     double file_kb = 16;
+    bool simulate = false;
+    int sim_nodes = 4;
 
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--target"))
@@ -36,6 +122,11 @@ main(int argc, char **argv)
             files = util::cliDouble(argc, argv, i);
         else if (!std::strcmp(argv[i], "--file-kb"))
             file_kb = util::cliDouble(argc, argv, i);
+        else if (!std::strcmp(argv[i], "--simulate"))
+            simulate = true;
+        else if (!std::strcmp(argv[i], "--nodes"))
+            sim_nodes =
+                static_cast<int>(util::cliInt(argc, argv, i, 2, 64));
         else
             util::fatal("unknown option ", argv[i]);
     }
@@ -43,6 +134,9 @@ main(int argc, char **argv)
     std::cout << "Sizing a locality-conscious cluster for " << target
               << " req/s (population " << files << " files, S = "
               << file_kb << " KB)\n\n";
+
+    if (simulate)
+        simulatePlan(sim_nodes, files, file_kb);
 
     struct Entry {
         const char *name;

@@ -27,13 +27,19 @@
 #       code), a crash-scenario byte-identity diff across --jobs
 #       values, and the fault tests under ThreadSanitizer (see
 #       docs/simulation.md, "Fault tolerance")
-#   (i) lint pass (clang-tidy when available + project grep bans,
+#   (i) traffic: the open-loop traffic engine — an SLO capacity-sweep
+#       smoke (the bench exits nonzero when a rung below a scenario's
+#       knee misses its offered rate or the flash crowd never crosses
+#       the overload pivot), a byte-identity diff across --jobs
+#       values, and the traffic tests under ThreadSanitizer (see
+#       docs/workloads.md)
+#   (j) lint pass (clang-tidy when available + project grep bans,
 #       including the nondeterminism, raw-argv, raw-RNG and raw-throw
 #       bans)
 #
 # Usage: scripts/check.sh [stage...]
 #   stage  any of: tier1 asan tsan trace races parallel scale fault
-#          lint (default: all nine, in order)
+#          traffic lint (default: all ten, in order)
 #
 # Every requested stage runs even when an earlier one fails; the
 # summary table at the end shows per-stage pass/fail and the script
@@ -45,7 +51,7 @@ set -uo pipefail
 cd "$(dirname "$0")/.."
 
 if [ $# -eq 0 ]; then
-    STAGES=(tier1 asan tsan trace races parallel scale fault lint)
+    STAGES=(tier1 asan tsan trace races parallel scale fault traffic lint)
 else
     STAGES=("$@")
 fi
@@ -190,6 +196,29 @@ stage_fault() {
         --output-on-failure -R "FaultPlan|Membership|FaultCluster"
 }
 
+stage_traffic() {
+    cmake -B build -S . -G Ninja -DPRESS_WERROR=ON
+    cmake --build build -j "$(nproc)" --target capacity_slo \
+        test_traffic test_traffic_cluster
+    # SLO sweep smoke: the bench exits nonzero if a rung below a
+    # scenario's knee misses its offered rate or the flash-crowd sweep
+    # never crosses the T = 80 overload pivot. Determinism: sequential
+    # and sweep-parallel runs must print the same table and JSON.
+    ( cd build && ./bench/capacity_slo --quick --jobs 1 > slo-j1.txt && mv BENCH_slo.json slo-j1.json )
+    ( cd build && ./bench/capacity_slo --quick --jobs 4 > slo-j4.txt && mv BENCH_slo.json slo-j4.json )
+    diff build/slo-j1.txt build/slo-j4.txt
+    diff build/slo-j1.json build/slo-j4.json
+    echo "capacity_slo byte-identical across --jobs 1/4"
+    # The arrival engine and session bookkeeping under ThreadSanitizer:
+    # open-loop feeds run inside the windowed kernel's client domain.
+    cmake -B build-tsan -S . -G Ninja \
+        -DPRESS_SANITIZE=thread -DPRESS_WERROR=ON
+    cmake --build build-tsan -j "$(nproc)" --target test_traffic_cluster
+    TSAN_OPTIONS="halt_on_error=1" \
+        ctest --test-dir build-tsan -j "$(nproc)" \
+        --output-on-failure -R "TrafficCluster"
+}
+
 stage_lint() {
     scripts/lint.sh build
 }
@@ -199,10 +228,10 @@ OVERALL=0
 
 for stage in "${STAGES[@]}"; do
     case "$stage" in
-    tier1|asan|tsan|trace|races|parallel|scale|fault|lint) ;;
+    tier1|asan|tsan|trace|races|parallel|scale|fault|traffic|lint) ;;
     *)
         echo "check.sh: unknown stage '$stage'" \
-             "(want tier1|asan|tsan|trace|races|parallel|scale|fault|lint)" >&2
+             "(want tier1|asan|tsan|trace|races|parallel|scale|fault|traffic|lint)" >&2
         exit 2
         ;;
     esac

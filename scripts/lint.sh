@@ -96,6 +96,23 @@ if [ -n "$cli_hits" ]; then
     FAILED=1
 fi
 
+# ------------------------------------------- arrival-rate literal ban
+# Every offered-load constant lives in src/traffic (DefaultOpenLoopRate,
+# the scenario factories) so capacity sweeps, examples, and tools agree
+# on what a rate means. Assigning a numeric literal anywhere else
+# scatters magic req/s values; pass a computed rate or use a
+# traffic:: scenario factory instead. Tests are exempt — pinning a
+# literal rate against a specific assertion is the point of a test.
+rate_hits=$(grep -rnE 'openLoopRate *= *[0-9]' \
+    src/ bench/ tools/ examples/ | grep -v 'src/traffic/' || true)
+if [ -n "$rate_hits" ]; then
+    echo "lint: BANNED pattern 'openLoopRate = <literal>'" \
+         "(rate constants live in src/traffic; use a scenario" \
+         "factory or a computed rate):"
+    echo "$rate_hits" | sed 's/^/  /'
+    FAILED=1
+fi
+
 # ------------------------------------------------ seeded-RNG bans
 # Every randomized choice must flow through util::Rng (seeded,
 # per-component) or a deterministic hash chain like the gossip peer

@@ -45,6 +45,24 @@ struct ServiceCosts {
     /** [EST] shard-owner directory probe + route decision (sharded
      *  cache directory, ForwardRoute::Lookup processing). */
     Tick dirLookup = 4 * US;
+
+    /**
+     * [EST] the connection-establishment share of mu_p: kernel accept,
+     * socket setup, and the amortized teardown. HTTP/1.1 keep-alive
+     * requests (traffic::SessionSpec) reuse the connection and are
+     * charged parse - connSetup instead of the full parse cost.
+     */
+    Tick connSetup = 70 * US;
+
+    /**
+     * [EST] dynamic-content request class: CPU to generate a page
+     * instead of serving it from cache or disk (CGI-style work,
+     * traffic::TrafficModel::dynamicFraction). Sized so a generated
+     * page costs roughly 3-4x a cached static serve on the 300 MHz
+     * P-II, in line with contemporary CGI/static ratios.
+     */
+    Tick dynamicFixed = 400 * US;
+    double dynamicPerByte = 40.0; // ns/B generated
 };
 
 /**
@@ -126,6 +144,12 @@ struct MessageSizes {
     std::uint64_t fileMeta = 61;    ///< RMW file-metadata message (V3+)
     std::uint64_t httpRequest = 300;///< client GET on the external net
     std::uint64_t httpReplyHeader = 250;
+
+    /** [EST] TCP connection establishment on the external net: SYN,
+     *  SYN/ACK, ACK plus the amortized FIN exchange. Charged per fresh
+     *  connection only when the keep-alive session model is active, so
+     *  the paper's configurations keep their exact wire byte counts. */
+    std::uint64_t tcpHandshake = 240;
 
     /** Extra header bytes on gossip/tree dissemination rumors
      *  (origin 4 B + seq 4 B + hops 1 B); charged only when a

@@ -28,6 +28,18 @@ PressCluster::dumpStats(std::ostream &os) const
     os << "sim.now_s " << sim::nsToSeconds(_sim.now()) << "\n";
     os << "sim.events " << _sim.eventsExecuted() << "\n";
     os << "clients.bad_requests " << _badRequests << "\n";
+    // Open-loop arrivals do not back off, so overload shows up here —
+    // offered vs. in-flight growth vs. shed arrivals — rather than in
+    // a sagging request count. Gated so the paper's closed-loop dumps
+    // stay byte-identical.
+    if (_config.clientMode == PressConfig::ClientMode::OpenLoop) {
+        os << "clients.offered " << _offered << "\n";
+        os << "clients.dropped " << _dropped << "\n";
+        os << "clients.inflight_peak " << _inFlightPeak << "\n";
+        os << "clients.inflight_end " << _inFlight << "\n";
+        if (_config.traffic.session.enabled)
+            os << "clients.sessions " << _sessionSeq << "\n";
+    }
     if (_viaChecker) {
         os << "check.mode "
            << (_viaChecker->mode() == check::CheckMode::Record ? "record"
@@ -101,6 +113,16 @@ PressCluster::dumpStats(std::ostream &os) const
                << "\n";
             os << p << "press.tree.load_waves " << s.loadWaves << "\n";
             os << p << "press.tree.caching_waves " << s.cachingWaves
+               << "\n";
+        }
+        if (_config.traffic.shaped()) {
+            os << p << "press.overload_serves " << s.overloadLocalServes
+               << "\n";
+            os << p << "press.keepalive " << s.keepAliveRequests << "\n";
+            os << p << "press.dynamic " << s.dynamicRequests << "\n";
+            os << p << "press.sessions_opened " << s.sessionsOpened
+               << "\n";
+            os << p << "press.sessions_closed " << s.sessionsClosed
                << "\n";
         }
         if (!_config.fault.empty()) {
@@ -343,8 +365,13 @@ PressCluster::replyFinished(ClientSlot *slot, std::uint32_t gen)
         }
     }
     _lastReply = _sim.now();
-    if (slot->closedLoop)
+    if (slot->closedLoop) {
         issueNext(*slot);
+    } else if (_inFlight > 0) {
+        // Open-loop bookkeeping: runs on the client domain (the reply
+        // just landed on a client port), same as the arrival side.
+        --_inFlight;
+    }
 }
 
 void
@@ -358,22 +385,198 @@ PressCluster::scheduleArrival()
         _openSlot->closedLoop = false;
         _openSlot->active = true;
     }
-    sim::Tick gap = sim::secondsToNs(
-        _clientRng.exponential(1.0 / _config.openLoopRate));
-    _sim.schedule(gap, [this]() {
-        issueNext(*_openSlot);
+    // Arrival k is a pure function of (seed, curve, k): counter-based
+    // splitmix64 -> exponential mass -> integrated-rate inversion. The
+    // schedule cannot shift whatever else consumes RNG state, which
+    // keeps open-loop runs byte-identical across --jobs/threads.
+    sim::Tick at = _measureStart + _arrivals->next();
+    sim::Tick now = _sim.now();
+    _sim.schedule(at > now ? at - now : 0, [this]() {
+        openArrival();
         scheduleArrival();
     });
+}
+
+// Bit layout of the open_word threaded through the client path: the
+// shaping flags below, the session id in the high half. 0 = classic
+// request (closed-loop warm-up, unshaped open loop).
+namespace {
+constexpr std::uint64_t WordKeepAlive = 1;
+constexpr std::uint64_t WordDynamic = 2;
+constexpr std::uint64_t WordSessionBegin = 4;
+constexpr std::uint64_t WordSessionEnd = 8;
+constexpr std::uint64_t WordInSession = 16;
+} // namespace
+
+void
+PressCluster::openArrival()
+{
+    storage::FileId file = _feed->next();
+    if (file == storage::InvalidFile)
+        return;
+    std::uint64_t k = _openSeq++;
+    ++_offered;
+    std::uint32_t cap = _config.traffic.maxInFlight;
+    if (cap != 0 && _inFlight >= cap) {
+        // Client-side load shedding: the arrival consumed its feed
+        // budget (open-loop demand does not wait) and is counted.
+        ++_dropped;
+        return;
+    }
+    if (_population)
+        file = _rankToFile[_population->sampleRank(
+            _sim.now() - _measureStart, k)];
+    std::uint64_t word = 0;
+    if (_config.traffic.dynamicFraction > 0 &&
+        traffic::unitFromHash(traffic::mix64(
+            _config.seed ^ 0xC1A55F1EDull ^ (k + 1))) <
+            _config.traffic.dynamicFraction)
+        word |= WordDynamic;
+
+    if (_sessionModel) {
+        std::uint32_t sid = _sessionSeq++;
+        PRESS_ASSERT(sid < 0x800000u, "session id space exhausted");
+        std::uint32_t len = _sessionModel->length(sid);
+        int node = pickClientNode();
+        _sessions.emplace(sid, OpenSession{node, len, 0});
+        word |= WordInSession | WordSessionBegin;
+        if (len == 1)
+            word |= WordSessionEnd;
+        word |= static_cast<std::uint64_t>(sid) << 32;
+        openIssue(file, node, word);
+        return;
+    }
+    if (_config.distribution == Distribution::FrontEndLard) {
+        // The LARD front-end owns node choice; shaping beyond the rate
+        // curve is rejected at run() start.
+        ++_inFlight;
+        _inFlightPeak = std::max(_inFlightPeak, _inFlight);
+        issueRequest(*_openSlot, file);
+        return;
+    }
+    openIssue(file, pickClientNode(), word);
+}
+
+void
+PressCluster::openIssue(storage::FileId file, int node, std::uint64_t word)
+{
+    ++_inFlight;
+    _inFlightPeak = std::max(_inFlightPeak, _inFlight);
+    int client_port = _config.nodes + node;
+    net::Payload wire = requestWire(file);
+    std::uint64_t req_bytes = _requestWireBytes[file];
+    // A fresh connection's TCP handshake rides the external wire ahead
+    // of the request; keep-alive requests skip it. Only the session
+    // path models connections explicitly, so unshaped runs keep their
+    // exact wire byte counts.
+    if ((word & WordInSession) && !(word & WordKeepAlive))
+        req_bytes += _config.calibration.sizes.tcpHandshake;
+    ClientSlot *slot_ptr = _openSlot.get();
+    _external->send(client_port, node, req_bytes,
+                    [this, node, file, slot_ptr, word,
+                     wire = std::move(wire)]() {
+                        requestArrived(node, file, wire, slot_ptr, 0,
+                                       word);
+                    });
+}
+
+void
+PressCluster::openSessionAdvance(std::uint32_t sid)
+{
+    auto it = _sessions.find(sid);
+    if (it == _sessions.end())
+        return;
+    OpenSession &s = it->second;
+    ++s.done;
+    if (s.done >= s.length) {
+        _sessions.erase(it);
+        return;
+    }
+    sim::Tick gap = _sessionModel->thinkGap(sid, s.done);
+    _sim.schedule(gap, [this, sid]() { openSessionIssue(sid); });
+}
+
+void
+PressCluster::openSessionIssue(std::uint32_t sid)
+{
+    auto it = _sessions.find(sid);
+    if (it == _sessions.end())
+        return;
+    OpenSession &s = it->second;
+    storage::FileId file = _feed->next();
+    if (file == storage::InvalidFile) {
+        // Budget exhausted mid-session: the connection just closes.
+        _sessions.erase(it);
+        return;
+    }
+    std::uint64_t k = _openSeq++;
+    ++_offered;
+    if (_population)
+        file = _rankToFile[_population->sampleRank(
+            _sim.now() - _measureStart, k)];
+    std::uint64_t word = WordInSession | WordKeepAlive |
+                         (static_cast<std::uint64_t>(sid) << 32);
+    if (_config.traffic.dynamicFraction > 0 &&
+        traffic::unitFromHash(traffic::mix64(
+            _config.seed ^ 0xC1A55F1EDull ^ (k + 1))) <
+            _config.traffic.dynamicFraction)
+        word |= WordDynamic;
+    if (s.done + 1 >= s.length)
+        word |= WordSessionEnd;
+    openIssue(file, s.node, word);
+}
+
+int
+PressCluster::pickClientNode()
+{
+    int node = static_cast<int>(_clientRng.uniformInt(_config.nodes));
+    if (_faultEnabled && !_clientAlive[static_cast<std::size_t>(node)]) {
+        // Linear probe to the next node the clients believe up (a
+        // real client's connect() to the dead node would fail over).
+        for (int s = 1; s < _config.nodes; ++s) {
+            int cand = (node + s) % _config.nodes;
+            if (_clientAlive[static_cast<std::size_t>(cand)]) {
+                node = cand;
+                break;
+            }
+        }
+    }
+    return node;
+}
+
+void
+PressCluster::buildPopularityRanking()
+{
+    // The Zipf redraw needs "rank r = the r-th most requested file".
+    // Derive the ranking from the trace itself so the hot set lands on
+    // files the caches already know and love.
+    std::vector<std::uint64_t> count(_trace.files.count(), 0);
+    for (storage::FileId f : _trace.requests)
+        ++count[f];
+    _rankToFile.resize(count.size());
+    for (std::size_t i = 0; i < _rankToFile.size(); ++i)
+        _rankToFile[i] = static_cast<storage::FileId>(i);
+    std::stable_sort(_rankToFile.begin(), _rankToFile.end(),
+                     [&count](storage::FileId a, storage::FileId b) {
+                         return count[a] > count[b];
+                     });
 }
 
 void
 PressCluster::issueNext(ClientSlot &slot)
 {
     // Open-loop runs warm up in closed loop (saturating the caches
-    // quickly); once measurement starts, the closed-loop slots retire
-    // and the Poisson process takes over.
+    // quickly); at the warm-up boundary the closed-loop slots retire
+    // without consuming any of the measured feed budget, and the
+    // Poisson process takes over. offeredRequests then accounts for
+    // every measured-window request exactly.
     if (_config.clientMode == PressConfig::ClientMode::OpenLoop &&
-        _measuring && slot.closedLoop) {
+        slot.closedLoop &&
+        (_measuring || _feed->issued() >= _warmupBoundary)) {
+        if (!_measuring && !_resetPending) {
+            _resetPending = true;
+            _sim.atBarrier([this]() { resetForMeasurement(); });
+        }
         slot.active = false;
         return;
     }
@@ -397,23 +600,9 @@ PressCluster::issueNext(ClientSlot &slot)
     issueRequest(slot, file);
 }
 
-void
-PressCluster::issueRequest(ClientSlot &slot, storage::FileId file)
+net::Payload
+PressCluster::requestWire(storage::FileId file)
 {
-    int node = static_cast<int>(_clientRng.uniformInt(_config.nodes));
-    if (_faultEnabled && !_clientAlive[static_cast<std::size_t>(node)]) {
-        // Linear probe to the next node the clients believe up (a
-        // real client's connect() to the dead node would fail over).
-        for (int s = 1; s < _config.nodes; ++s) {
-            int cand = (node + s) % _config.nodes;
-            if (_clientAlive[static_cast<std::size_t>(cand)]) {
-                node = cand;
-                break;
-            }
-        }
-    }
-    int client_port = _config.nodes + node;
-
     // Real HTTP on the wire: the GET for each file is built once and
     // reused (clients are replaying a trace).
     if (!_requestWire[file]) {
@@ -425,7 +614,16 @@ PressCluster::issueRequest(ClientSlot &slot, storage::FileId file)
         _requestWire[file] = net::makePayload<std::string>(
             std::move(text));
     }
-    net::Payload wire = _requestWire[file];
+    return _requestWire[file];
+}
+
+void
+PressCluster::issueRequest(ClientSlot &slot, storage::FileId file)
+{
+    int node = pickClientNode();
+    int client_port = _config.nodes + node;
+
+    net::Payload wire = requestWire(file);
     std::uint64_t req_bytes = _requestWireBytes[file];
 
     ClientSlot *slot_ptr = &slot;
@@ -543,7 +741,7 @@ PressCluster::frontEndRoute(storage::FileId file,
 void
 PressCluster::requestArrived(int node, storage::FileId file,
                              const net::Payload &wire, ClientSlot *slot,
-                             std::uint32_t gen)
+                             std::uint32_t gen, std::uint64_t open_word)
 {
     // Ingress: parse the request text and resolve the path, exactly as
     // the real server's accept path would (the simulated cost of this
@@ -563,20 +761,40 @@ PressCluster::requestArrived(int node, storage::FileId file,
     }
     bool keep_alive = parsed.request->keepAlive();
 
+    RequestOptions opts;
+    if (open_word != 0) {
+        opts.keepAlive = (open_word & WordKeepAlive) != 0;
+        opts.dynamic = (open_word & WordDynamic) != 0;
+        if (open_word & WordSessionBegin)
+            opts.sessionPhase |= 1;
+        if (open_word & WordSessionEnd)
+            opts.sessionPhase |= 2;
+        if (open_word & WordInSession)
+            // Session spans live above the request-tag id space.
+            opts.sessionTag = 0x800000u | static_cast<std::uint32_t>(
+                                              open_word >> 32);
+    }
+
     int client_port = _config.nodes + node;
     _servers[node]->handleClientRequest(
-        file, [this, node, file, client_port, keep_alive, slot,
-               gen](std::uint64_t) {
+        file,
+        [this, node, file, client_port, keep_alive, slot, gen,
+         open_word](std::uint64_t) {
             // Egress: build the HTTP response; its wire size replaces
             // the server's header estimate.
             http::Response resp = http::makeFileResponse(
                 200, _trace.files.size(file),
                 http::mimeType(_site.path(file)), keep_alive);
             _external->send(node, client_port, resp.wireBytes(),
-                            [this, slot, gen]() {
+                            [this, slot, gen, open_word]() {
                                 replyFinished(slot, gen);
+                                if (open_word & WordInSession)
+                                    openSessionAdvance(
+                                        static_cast<std::uint32_t>(
+                                            open_word >> 32));
                             });
-        });
+        },
+        opts);
 }
 
 void
@@ -768,6 +986,42 @@ PressCluster::run(std::uint64_t max_requests)
     _measureStart = 0;
     _lastReply = 0;
 
+    if (_config.clientMode == PressConfig::ClientMode::OpenLoop) {
+        const auto &tm = _config.traffic;
+        PRESS_ASSERT(!(_config.distribution == Distribution::FrontEndLard &&
+                       (tm.session.enabled || tm.dynamicFraction > 0 ||
+                        tm.population.active())),
+                     "the LARD front-end supports only rate-curve "
+                     "shaping (sessions/classes/popularity bypass its "
+                     "hand-off path)");
+        traffic::RateCurve curve =
+            tm.curve.empty() ? traffic::RateCurve::constant(
+                                   _config.openLoopRate)
+                             : tm.curve;
+        double scale =
+            tm.session.enabled ? 1.0 / tm.session.meanRequests : 1.0;
+        _arrivals = std::make_unique<traffic::ArrivalEngine>(
+            std::move(curve), _config.seed ^ 0x41525256414Cull, scale);
+        _sessionModel.reset();
+        if (tm.session.enabled)
+            _sessionModel = std::make_unique<traffic::SessionModel>(
+                tm.session, _config.seed ^ 0x53455353ull);
+        _population.reset();
+        if (tm.population.active()) {
+            _population = std::make_unique<traffic::PopulationModel>(
+                tm.population, _trace.files.count(),
+                _config.seed ^ 0x504F50ull);
+            buildPopularityRanking();
+        }
+        _sessions.clear();
+        _sessionSeq = 0;
+        _openSeq = 0;
+        _offered = 0;
+        _dropped = 0;
+        _inFlight = 0;
+        _inFlightPeak = 0;
+    }
+
     // Pre-schedule every fault event (no-op for an empty plan) so the
     // kernel — sequential or parallel — sees churn as ordinary
     // same-domain events, keeping runs byte-identical.
@@ -831,6 +1085,10 @@ PressCluster::run(std::uint64_t max_requests)
         r.cachingWaves += s.cachingWaves;
         r.dirLookups += s.dirLookupsIn;
         r.dirHomeReturns += s.dirHomeReturns;
+        r.overloadServes += s.overloadLocalServes;
+        r.sessionsClosed += s.sessionsClosed;
+        r.keepAliveRequests += s.keepAliveRequests;
+        r.dynamicRequests += s.dynamicRequests;
         auto entries =
             static_cast<std::uint64_t>(server->directoryEntries());
         r.dirEntriesTotal += entries;
@@ -838,6 +1096,15 @@ PressCluster::run(std::uint64_t max_requests)
     }
     r.requestsMeasured = replies;
     r.throughput = static_cast<double>(replies) / r.measuredSeconds;
+    if (_config.clientMode == PressConfig::ClientMode::OpenLoop) {
+        r.offeredRequests = _offered;
+        r.offeredRate =
+            static_cast<double>(_offered) / r.measuredSeconds;
+        r.droppedRequests = _dropped;
+        r.inFlightPeak = _inFlightPeak;
+        r.inFlightEnd = _inFlight;
+        r.measureStartTick = _measureStart;
+    }
     r.avgLatencyMs =
         latency_n ? latency_sum / static_cast<double>(latency_n) / 1e6
                   : 0.0;

@@ -19,6 +19,7 @@
 #include <array>
 #include <atomic>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/comm.hpp"
@@ -98,6 +99,23 @@ struct ClusterResults {
      *  bench derives throughput-dip depth and recovery time from
      *  these. Empty in healthy runs. */
     std::vector<std::uint64_t> replyBuckets;
+
+    // Open-loop traffic engine (ClientMode::OpenLoop; zero otherwise).
+
+    std::uint64_t offeredRequests = 0; ///< engine arrivals while measuring
+    double offeredRate = 0;            ///< offeredRequests / measuredSeconds
+    std::uint64_t droppedRequests = 0; ///< arrivals shed at the client cap
+    std::uint32_t inFlightPeak = 0;    ///< peak client in-flight depth
+    std::uint32_t inFlightEnd = 0;     ///< still unanswered at drain
+    sim::Tick measureStartTick = 0;    ///< sim time of the warm-up barrier
+                                       ///< (curve time 0; trace ticks are
+                                       ///< absolute sim time)
+    std::uint64_t sessionsClosed = 0;  ///< keep-alive sessions completed
+    std::uint64_t keepAliveRequests = 0; ///< requests on reused connections
+    std::uint64_t dynamicRequests = 0;   ///< dynamic-content class served
+    std::uint64_t overloadServes = 0;  ///< replica-creating local serves
+                                       ///< (always filled; the T = 80
+                                       ///< pivot evidence for X11)
 
     /** The run's trace snapshot (null unless config.trace was set).
      *  Shared so results stay cheap to copy through sweep runners. */
@@ -184,10 +202,31 @@ class PressCluster
     void issueRequest(ClientSlot &slot, storage::FileId file);
     void replyFinished(ClientSlot *slot, std::uint32_t gen);
     void scheduleArrival();
+    /** @p open_word packs the traffic engine's RequestOptions plus the
+     *  session id into one u64 (0 = classic request) so it fits the
+     *  fabric callbacks' inline storage. */
     void requestArrived(int node, storage::FileId file,
                         const net::Payload &wire, ClientSlot *slot,
-                        std::uint32_t gen);
+                        std::uint32_t gen, std::uint64_t open_word = 0);
     void resetForMeasurement();
+
+    // --- open-loop traffic engine ------------------------------------
+
+    /** One engine arrival: consume the feed budget, apply the drop cap,
+     *  redraw popularity, pick the class, start a session or issue. */
+    void openArrival();
+    /** Put one shaped request on the external wire toward @p node. */
+    void openIssue(storage::FileId file, int node, std::uint64_t word);
+    /** A session request's reply landed: finish or schedule the next
+     *  request after think time. */
+    void openSessionAdvance(std::uint32_t sid);
+    void openSessionIssue(std::uint32_t sid);
+    /** The node a fresh connection lands on (uniform + fault probe). */
+    int pickClientNode();
+    /** The cached per-file HTTP GET payload (built on first use). */
+    net::Payload requestWire(storage::FileId file);
+    /** Map trace popularity ranks to file ids for the Zipf redraw. */
+    void buildPopularityRanking();
 
     // --- fault tolerance ---------------------------------------------
 
@@ -239,6 +278,26 @@ class PressCluster
     std::vector<char> _clientAlive; ///< client view of node liveness
     std::uint64_t _clientRetries = 0;
     std::vector<std::uint64_t> _replyBuckets;
+
+    // Open-loop traffic engine state (ClientMode::OpenLoop only; all
+    // of it lives on the client domain).
+    struct OpenSession {
+        int node = 0;             ///< back-end the connection sticks to
+        std::uint32_t length = 1; ///< requests this session will issue
+        std::uint32_t done = 0;   ///< replies received so far
+    };
+    std::unique_ptr<traffic::ArrivalEngine> _arrivals;
+    std::unique_ptr<traffic::PopulationModel> _population;
+    std::unique_ptr<traffic::SessionModel> _sessionModel;
+    std::vector<storage::FileId> _rankToFile; ///< popularity rank -> file
+    std::unordered_map<std::uint32_t, OpenSession> _sessions;
+    std::uint32_t _sessionSeq = 0; ///< session ids handed out
+    std::uint64_t _openSeq = 0;    ///< engine requests issued (counter
+                                   ///< for class/popularity draws)
+    std::uint64_t _offered = 0;    ///< engine arrivals (incl. dropped)
+    std::uint64_t _dropped = 0;    ///< arrivals shed at maxInFlight
+    std::uint32_t _inFlight = 0;   ///< open-loop requests in flight
+    std::uint32_t _inFlightPeak = 0;
 
     std::uint64_t _warmupBoundary = 0;
     bool _measuring = false;

@@ -13,6 +13,7 @@
 #include "core/calibration.hpp"
 #include "fault/fault_plan.hpp"
 #include "sim/event_queue.hpp"
+#include "traffic/traffic_model.hpp"
 #include "util/units.hpp"
 
 namespace press::core {
@@ -239,8 +240,18 @@ struct PressConfig {
     enum class ClientMode { ClosedLoop, OpenLoop };
     ClientMode clientMode = ClientMode::ClosedLoop;
 
-    /** Total offered load in requests/second (OpenLoop only). */
-    double openLoopRate = 4000.0;
+    /** Total offered load in requests/second (OpenLoop only); used
+     *  when traffic.curve is empty. The default — and every other
+     *  arrival-rate constant — lives in src/traffic (lint-enforced). */
+    double openLoopRate = traffic::DefaultOpenLoopRate;
+
+    /**
+     * Open-loop traffic shaping: offered-load curve, popularity drift,
+     * keep-alive sessions, request-class mix (OpenLoop only). The
+     * default TrafficModel is unshaped, reproducing the single-knob
+     * Poisson stream byte-for-byte.
+     */
+    traffic::TrafficModel traffic;
 
     /** Flow-control window: receive buffers per channel per direction,
      *  and the batch size for returning credits. */

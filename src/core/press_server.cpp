@@ -107,13 +107,31 @@ PressServer::replyCost(std::uint64_t bytes) const
 }
 
 void
-PressServer::handleClientRequest(FileId file, ReplyFn on_reply)
+PressServer::handleClientRequest(FileId file, ReplyFn on_reply,
+                                 const RequestOptions &opts)
 {
     if (_crashed)
         return; // connection refused; the client's dead-node scan retries
     ++_stats.requests;
     ++_openConnections;
     loadChanged();
+
+    if (opts.sessionPhase & 1) {
+        ++_stats.sessionsOpened;
+        PRESS_TRACE_ASYNC_BEGIN(_tracer, _id, obs::Ev::SessionLife,
+                                obs::requestId(_id, opts.sessionTag), file);
+    }
+    if (opts.sessionPhase & 2) {
+        // The session span closes when this, its last reply, leaves.
+        on_reply = [this, inner = std::move(on_reply),
+                    stag = opts.sessionTag](std::uint64_t bytes) {
+            ++_stats.sessionsClosed;
+            PRESS_TRACE_ASYNC_END(_tracer, _id, obs::Ev::SessionLife,
+                                  obs::requestId(_id, stag), bytes);
+            if (inner)
+                inner(bytes);
+        };
+    }
 
     std::uint32_t tag = _nextTag++;
     _pending.emplace(tag, Pending{file, std::move(on_reply), _sim.now()});
@@ -125,8 +143,38 @@ PressServer::handleClientRequest(FileId file, ReplyFn on_reply)
 
     sim::Tick cost = _cal.service.parse + _cal.service.loopPass +
                      _comm.perRequestOverhead();
+    if (opts.keepAlive) {
+        // Reused connection: no accept/teardown inside mu_p.
+        ++_stats.keepAliveRequests;
+        cost -= _cal.service.connSetup;
+    }
+    bool dynamic = opts.dynamic;
+    if (dynamic)
+        ++_stats.dynamicRequests;
+    _node.cpu().submit(cost, CatService, [this, file, tag, dynamic]() {
+        if (dynamic)
+            serveDynamic(file, tag);
+        else
+            dispatch(file, tag);
+    });
+}
+
+void
+PressServer::serveDynamic(FileId file, std::uint32_t tag)
+{
+    PRESS_TRACE_INSTANT(
+        _tracer, _id, obs::Ev::ReqDispatch, obs::requestId(_id, tag),
+        static_cast<std::uint64_t>(obs::DispatchDecision::Dynamic));
+    // The generated page is sized like the file it replaces; the work
+    // is pure CPU on the initial node — locality-conscious distribution
+    // has nothing to offer content that is produced, not cached.
+    std::uint64_t size = _files.size(file);
+    sim::Tick cost =
+        _cal.service.dynamicFixed +
+        static_cast<sim::Tick>(_cal.service.dynamicPerByte *
+                               static_cast<double>(size));
     _node.cpu().submit(cost, CatService,
-                       [this, file, tag]() { dispatch(file, tag); });
+                       [this, tag, size]() { reply(tag, size, -1); });
 }
 
 void

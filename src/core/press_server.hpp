@@ -42,6 +42,20 @@ namespace press::core {
  *  @p bytes is the full reply size (headers + file). */
 using ReplyFn = std::function<void(std::uint64_t bytes)>;
 
+/**
+ * Per-request options the open-loop traffic engine threads through the
+ * client path. The defaults reproduce the classic request exactly —
+ * fresh connection, static content, no session — so closed-loop runs
+ * and unshaped open-loop runs are untouched.
+ */
+struct RequestOptions {
+    bool keepAlive = false;  ///< reused connection: parse skips connSetup
+    bool dynamic = false;    ///< dynamic-content class: CPU-generated page
+    std::uint8_t sessionPhase = 0; ///< bit 0: first request of a session,
+                                   ///< bit 1: last request of a session
+    std::uint32_t sessionTag = 0;  ///< obs session-span tag (with phase)
+};
+
 /** Counters one server instance accumulates. */
 struct ServerStats {
     std::uint64_t requests = 0;     ///< client requests accepted
@@ -72,6 +86,12 @@ struct ServerStats {
     std::uint64_t staleReplies = 0;     ///< post-crash/stale deliveries dropped
     std::uint64_t membershipSends = 0;  ///< MembershipMsg rumors sent
     std::uint64_t reAnnouncedFiles = 0; ///< caching re-announcements sent
+
+    // Open-loop traffic engine (PressConfig::traffic).
+    std::uint64_t keepAliveRequests = 0; ///< requests on reused connections
+    std::uint64_t dynamicRequests = 0;   ///< dynamic-content class served
+    std::uint64_t sessionsOpened = 0;    ///< keep-alive sessions accepted
+    std::uint64_t sessionsClosed = 0;    ///< sessions whose last reply left
     stats::Accumulator latency;      ///< request latency, ns
     stats::LogHistogram latencyHist; ///< same samples, for percentiles
 
@@ -101,9 +121,12 @@ class PressServer
     /**
      * A client request for @p file arrived at this node (it is the
      * initial node). @p on_reply fires when the reply is ready for the
-     * external network.
+     * external network. @p opts carries the traffic engine's request
+     * shaping (keep-alive, class, session span); the default is the
+     * classic request.
      */
-    void handleClientRequest(storage::FileId file, ReplyFn on_reply);
+    void handleClientRequest(storage::FileId file, ReplyFn on_reply,
+                             const RequestOptions &opts = {});
 
     /** This node's load metric: client connections it is handling plus
      *  forwarded requests it is servicing. */
@@ -224,6 +247,10 @@ class PressServer
     /** Service a request on this node (as initial node). */
     void serveLocal(storage::FileId file, std::uint32_t tag,
                     bool count_overload_serve);
+
+    /** Dynamic-content class: generate the page on the CPU, bypassing
+     *  dispatch, cache, and disk entirely. */
+    void serveDynamic(storage::FileId file, std::uint32_t tag);
 
     /** Send the reply for a pending request to the client. */
     void reply(std::uint32_t tag, std::uint64_t file_bytes,

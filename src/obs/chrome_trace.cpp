@@ -29,6 +29,7 @@ trackOf(Ev code)
       case Ev::NodeSuspected:
       case Ev::ViewChanged:
       case Ev::RequestRetried:
+      case Ev::SessionLife:
         return TrackRequests;
       case Ev::CommSend:
       case Ev::CommRecv:

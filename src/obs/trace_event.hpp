@@ -56,6 +56,11 @@ enum class Ev : std::uint16_t {
                     ///< arg = packKindBytes(subject, epoch)
     RequestRetried, ///< instant on the retrying node; arg = attempt #
 
+    // ---- open-loop traffic engine ----
+    SessionLife, ///< async span: keep-alive session accept -> last
+                 ///< reply; arg = first file id (begin), reply bytes
+                 ///< of the closing request (end)
+
     NumEv,
 };
 
@@ -83,6 +88,8 @@ enum class DispatchDecision : std::uint8_t {
     OverloadLocal,   ///< candidate overloaded: serve locally, replicate
     Oblivious,       ///< non-locality-conscious mode: always local
     DirLookup,       ///< sharded directory: routed via the shard owner
+    Dynamic,         ///< dynamic-content class: generated on the
+                     ///< initial node, no cache/disk involved
 };
 
 const char *dispatchDecisionName(DispatchDecision d);

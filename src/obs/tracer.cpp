@@ -46,6 +46,8 @@ evName(Ev code)
         return "view.changed";
       case Ev::RequestRetried:
         return "request.retried";
+      case Ev::SessionLife:
+        return "session";
       case Ev::NumEv:
         break;
     }
@@ -92,6 +94,8 @@ dispatchDecisionName(DispatchDecision d)
         return "oblivious";
       case DispatchDecision::DirLookup:
         return "dir-lookup";
+      case DispatchDecision::Dynamic:
+        return "dynamic";
     }
     return "?";
 }

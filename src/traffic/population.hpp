@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Time-varying file popularity for the open-loop traffic engine.
+ *
+ * The paper's traces fix a static popularity ranking for the whole
+ * run. Production load shifts: the working set's Zipf exponent drifts
+ * as the audience changes, and a flash crowd concentrates most of the
+ * offered load on a handful of files. PopulationModel layers both on
+ * top of the cluster's trace-derived popularity ranking:
+ *
+ *  - alpha drift: the Zipf exponent moves linearly from alphaStart to
+ *    alphaEnd over driftOver ticks (quantized into a small ladder of
+ *    precomputed samplers so a draw is one binary search);
+ *  - hot set: inside [hotStart, hotEnd) a draw lands uniformly in a
+ *    window of hotCount ranks with probability hotFraction; the window
+ *    starts hotOffset of the way down the ranking (a crowd chasing
+ *    breaking content lands on files the caches have not absorbed,
+ *    which is what drives overload replication) and slides by hotCount
+ *    ranks every hotRotate ticks, modelling attention moving across a
+ *    site during an event.
+ *
+ * All draws are counter-based (mix64 of seed and the arrival counter),
+ * never stateful, so popularity sampling cannot perturb — or be
+ * perturbed by — any other random stream in the run.
+ */
+
+#ifndef PRESS_TRAFFIC_POPULATION_HPP
+#define PRESS_TRAFFIC_POPULATION_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/random.hpp"
+
+namespace press::traffic {
+
+/** Knobs for the time-varying popularity model. */
+struct PopulationSpec {
+    enum class Mode : std::uint8_t {
+        Trace, ///< replay the trace's own file sequence (paper default)
+        Zipf,  ///< redraw files from the drifting Zipf over trace ranks
+    };
+
+    Mode mode = Mode::Trace;
+    double alphaStart = 0.8;  ///< Zipf exponent at measurement start
+    double alphaEnd = 0.8;    ///< exponent after driftOver ticks
+    sim::Tick driftOver = 0;  ///< drift horizon; 0 = constant alpha
+    int hotCount = 0;         ///< hot-set size in ranks; 0 = no hot set
+    double hotFraction = 0;   ///< probability a draw lands in the hot set
+    sim::Tick hotStart = 0;   ///< hot window open (relative tick)
+    sim::Tick hotEnd = 0;     ///< hot window close
+    sim::Tick hotRotate = 0;  ///< slide period; 0 = pinned window
+    double hotOffset = 0;     ///< window base as a fraction of the
+                              ///< catalog: 0 = hottest ranks, 0.75 =
+                              ///< cold-tail content
+
+    bool active() const { return mode == Mode::Zipf; }
+};
+
+/** Counter-based sampler over popularity ranks (0 = most popular). */
+class PopulationModel
+{
+  public:
+    /**
+     * @param spec  model knobs (spec.active() must hold)
+     * @param files number of distinct ranks to draw over
+     * @param seed  stream seed, independent of arrival timing
+     */
+    PopulationModel(const PopulationSpec &spec, std::size_t files,
+                    std::uint64_t seed);
+
+    /**
+     * Rank requested by arrival @p k at relative tick @p t.
+     * Pure function of (spec, files, seed, t, k).
+     */
+    std::size_t sampleRank(sim::Tick t, std::uint64_t k) const;
+
+    /** Effective Zipf exponent at relative tick @p t (pre-quantization). */
+    double alphaAt(sim::Tick t) const;
+
+  private:
+    PopulationSpec _spec;
+    std::size_t _files;
+    std::uint64_t _seed;
+    std::vector<util::ZipfSampler> _ladder; ///< quantized drift steps
+};
+
+} // namespace press::traffic
+
+#endif // PRESS_TRAFFIC_POPULATION_HPP

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The open-loop traffic model embedded in PressConfig.
+ *
+ * Bundles the offered-load curve, the popularity model, the session
+ * model, and the request-class mix into one value the cluster reads
+ * when clientMode == OpenLoop. Default-constructed it reproduces the
+ * classic single-knob Poisson stream at PressConfig::openLoopRate
+ * exactly — existing open-loop configurations keep their byte-identical
+ * dumps.
+ *
+ * Scenario presets for bench/capacity_slo live here too: they are the
+ * one sanctioned home for arrival-rate literals (scripts/lint.sh bans
+ * `openLoopRate = <literal>` outside src/traffic/ so rates flow through
+ * named scenarios instead of being scattered across benches).
+ */
+
+#ifndef PRESS_TRAFFIC_TRAFFIC_MODEL_HPP
+#define PRESS_TRAFFIC_TRAFFIC_MODEL_HPP
+
+#include <cstdint>
+
+#include "traffic/population.hpp"
+#include "traffic/rate_curve.hpp"
+#include "traffic/session.hpp"
+
+namespace press::traffic {
+
+/** Default offered rate for the single-knob open-loop mode, req/s.
+ *  Roughly half of one VIA node's capacity so the default stays well
+ *  below the knee on the paper's 8-node configurations. */
+inline constexpr double DefaultOpenLoopRate = 4000.0;
+
+/** Everything the open-loop client population needs to shape load. */
+struct TrafficModel {
+    /** Offered request rate over time; empty = constant
+     *  PressConfig::openLoopRate. */
+    RateCurve curve;
+
+    /** File popularity over time; Trace mode = paper behavior. */
+    PopulationSpec population;
+
+    /** Keep-alive sessions; disabled = one connection per request. */
+    SessionSpec session;
+
+    /** Fraction of requests in the dynamic-content class (CPU-bound
+     *  page generation instead of cache/disk service). */
+    double dynamicFraction = 0.0;
+
+    /** Client-side in-flight cap; arrivals beyond it are dropped and
+     *  counted. 0 = unbounded (every arrival is eventually answered). */
+    std::uint32_t maxInFlight = 0;
+
+    /** True when any knob departs from the classic open-loop stream. */
+    bool shaped() const
+    {
+        return !curve.empty() || population.active() || session.enabled ||
+               dynamicFraction > 0 || maxInFlight > 0;
+    }
+};
+
+/**
+ * Scenario presets for bench/capacity_slo and the examples. @p rate is
+ * the average offered request rate in req/s; shapes scale around it.
+ * @{
+ */
+TrafficModel steadyScenario(double rate);
+TrafficModel diurnalScenario(double rate);
+TrafficModel flashScenario(double rate);
+TrafficModel keepAliveScenario(double rate);
+TrafficModel dynamicMixScenario(double rate);
+/** @} */
+
+} // namespace press::traffic
+
+#endif // PRESS_TRAFFIC_TRAFFIC_MODEL_HPP

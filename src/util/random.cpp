@@ -133,7 +133,12 @@ ZipfSampler::ZipfSampler(std::size_t n, double alpha) : _alpha(alpha)
 std::size_t
 ZipfSampler::sample(Rng &rng) const
 {
-    double u = rng.uniform();
+    return sampleAt(rng.uniform());
+}
+
+std::size_t
+ZipfSampler::sampleAt(double u) const
+{
     // First rank whose CDF value exceeds u.
     std::size_t lo = 0, hi = _cdf.size() - 1;
     while (lo < hi) {

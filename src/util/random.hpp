@@ -83,6 +83,13 @@ class ZipfSampler
     /** Sample a rank in [0, n) (0 = most popular). */
     std::size_t sample(Rng &rng) const;
 
+    /**
+     * Rank whose CDF bucket contains @p u in [0, 1). sample() is
+     * sampleAt(rng.uniform()); counter-based callers (the traffic
+     * engine) supply their own uniform so draws stay stateless.
+     */
+    std::size_t sampleAt(double u) const;
+
     /** Probability of rank @p i (0-based). */
     double probability(std::size_t i) const;
 
